@@ -1,0 +1,42 @@
+// Shared helpers for the evaluation benches: run a full injection campaign
+// for one named subject application and package the result for the report
+// formatters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fatomic/detect/classify.hpp"
+#include "fatomic/detect/experiment.hpp"
+#include "fatomic/report/report.hpp"
+#include "subjects/apps/apps.hpp"
+
+namespace bench_common {
+
+inline fatomic::report::AppResult run_app_campaign(
+    const subjects::apps::App& app) {
+  fatomic::detect::Experiment exp(app.program);
+  fatomic::report::AppResult r;
+  r.name = app.name;
+  r.language = app.language;
+  r.campaign = exp.run();
+  r.classification = fatomic::detect::classify(r.campaign);
+  return r;
+}
+
+inline std::vector<fatomic::report::AppResult> run_suite(
+    const std::string& language) {
+  std::vector<fatomic::report::AppResult> out;
+  for (const auto& app : subjects::apps::apps_of(language))
+    out.push_back(run_app_campaign(app));
+  return out;
+}
+
+inline std::vector<fatomic::report::AppResult> run_all() {
+  std::vector<fatomic::report::AppResult> out;
+  for (const auto& app : subjects::apps::all_apps())
+    out.push_back(run_app_campaign(app));
+  return out;
+}
+
+}  // namespace bench_common

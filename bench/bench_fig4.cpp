@@ -1,0 +1,18 @@
+// Regenerates Figure 4 of the paper: distribution of the classes of each
+// application over atomic / conditional / pure failure non-atomic, for the
+// C++ suite (a) and the Java suite (b).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  auto cpp = bench_common::run_suite("C++");
+  auto java = bench_common::run_suite("Java");
+  std::cout << fatomic::report::figure_classes(
+                   cpp, "Figure 4(a): C++ class distribution")
+            << '\n';
+  std::cout << fatomic::report::figure_classes(
+                   java, "Figure 4(b): Java class distribution")
+            << '\n';
+  return 0;
+}

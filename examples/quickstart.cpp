@@ -1,0 +1,102 @@
+// Quickstart: instrument a class, detect its failure non-atomic methods,
+// mask them, and verify the corrected program — the full pipeline of the
+// paper (Figure 1) in ~100 lines.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+#include <vector>
+
+#include "fatomic/fatomic.hpp"
+
+namespace {
+
+class StackError : public std::runtime_error {
+ public:
+  StackError() : std::runtime_error("stack error") {}
+};
+
+/// A tiny stack with one classic bug: push_all makes partial progress when a
+/// mid-loop push fails.
+class Stack {
+ public:
+  Stack() { FAT_CTOR_ENTRY(); }
+
+  int size() const { return static_cast<int>(items_.size()); }
+
+  void push(int v) {
+    FAT_INVOKE(push, [&] {
+      if (size() >= 8) throw StackError();  // bounded stack
+      items_.push_back(v);
+    });
+  }
+
+  int pop() {
+    return FAT_INVOKE(pop, [&] {
+      if (items_.empty()) throw StackError();
+      const int v = items_.back();
+      items_.pop_back();
+      return v;
+    });
+  }
+
+  void push_all(const std::vector<int>& vs) {
+    FAT_INVOKE(push_all, [&] {
+      for (int v : vs) push(v);  // BUG: partial progress on failure
+    });
+  }
+
+ private:
+  FAT_REFLECT_FRIEND(Stack);
+  FAT_CTOR_INFO(Stack);
+  FAT_METHOD_INFO(Stack, push, FAT_THROWS(StackError));
+  FAT_METHOD_INFO(Stack, pop, FAT_THROWS(StackError));
+  FAT_METHOD_INFO(Stack, push_all);
+
+  std::vector<int> items_;
+};
+
+/// The workload the detector drives (any deterministic test program works).
+void workload() {
+  Stack s;
+  s.push(1);
+  s.push_all({2, 3, 4});
+  s.pop();
+  s.push_all({5, 6});
+  while (s.size() > 0) s.pop();
+}
+
+}  // namespace
+
+FAT_REFLECT(Stack, FAT_FIELD(Stack, items_));
+
+int main() {
+  // --- detection phase (paper steps 1-3) ---------------------------------
+  fatomic::detect::Experiment experiment(workload);
+  auto campaign = experiment.run();
+  auto classification = fatomic::detect::classify(campaign);
+
+  std::cout << "injections performed: " << campaign.injections() << "\n\n";
+  for (const auto& m : classification.methods)
+    std::cout << m.method->qualified_name() << " -> "
+              << fatomic::detect::to_string(m.cls) << '\n';
+
+  // --- masking phase (paper steps 4-5) ------------------------------------
+  auto wrap = fatomic::mask::wrap_pure(classification);
+  {
+    fatomic::mask::MaskedScope masked(wrap);
+    Stack s;
+    for (int i = 0; i < 7; ++i) s.push(i);
+    try {
+      s.push_all({90, 91, 92});  // overflows at the second push
+    } catch (const StackError&) {
+      std::cout << "\npush_all failed; size is " << s.size()
+                << " (masked: rolled back to 7, no partial push)\n";
+    }
+  }
+
+  // --- verification --------------------------------------------------------
+  auto verified = fatomic::mask::verify_masked(workload, wrap);
+  std::cout << "non-atomic methods after masking: "
+            << verified.nonatomic_names().size() << " (expect 0)\n";
+  return verified.nonatomic_names().empty() ? 0 : 1;
+}

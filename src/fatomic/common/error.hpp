@@ -1,0 +1,45 @@
+// Common exception hierarchy for the fatomic library.
+//
+// The paper's tool injects both *declared* exceptions (part of a method's
+// exception specification) and *generic runtime* exceptions that any method
+// may raise (Section 4.1).  InjectedRuntimeError is the default generic
+// runtime exception used by the injection engine; subjects declare their own
+// domain exceptions on top of it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fatomic {
+
+/// Base class for all errors raised by the fatomic library itself.
+class FatomicError : public std::runtime_error {
+ public:
+  explicit FatomicError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when the snapshot engine cannot capture or restore an object graph
+/// (e.g. an unregistered polymorphic type is encountered).
+class SnapshotError : public FatomicError {
+ public:
+  explicit SnapshotError(const std::string& what) : FatomicError(what) {}
+};
+
+/// Raised on misuse of the weaving runtime (bad mode transitions, missing
+/// wrap predicate, ...).
+class WeaveError : public FatomicError {
+ public:
+  explicit WeaveError(const std::string& what) : FatomicError(what) {}
+};
+
+/// The generic runtime exception injected at every potential injection point
+/// in addition to the method's declared exceptions.  It models conditions
+/// like resource exhaustion that may strike any method (paper, Section 4.1).
+class InjectedRuntimeError : public std::runtime_error {
+ public:
+  InjectedRuntimeError() : std::runtime_error("injected runtime exception") {}
+  explicit InjectedRuntimeError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace fatomic

@@ -1,0 +1,77 @@
+// Call-graph and blame analysis over a campaign.
+//
+// The paper's workflow asks the programmer to decide which methods to
+// declare exception-free and which non-atomic methods to fix by hand
+// (Section 4.3).  Those decisions need two views the raw classification does
+// not give:
+//  - the dynamic call graph (who calls whom, how often) — context for
+//    conditional methods and for estimating masking cost; and
+//  - blame: which *injection sites* caused each method's non-atomic marks.
+//    A method whose marks are all caused by a single site becomes atomic as
+//    soon as that site is declared exception-free — exactly the
+//    re-classification the paper applies to LinkedList in Section 6.1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fatomic/detect/campaign.hpp"
+#include "fatomic/detect/classify.hpp"
+
+namespace fatomic::detect {
+
+/// Dynamic call graph observed in the Count baseline run.
+class CallGraph {
+ public:
+  /// Name used for the program top level (the root caller).
+  static constexpr const char* kRoot = "(program)";
+
+  static CallGraph from(const Campaign& campaign);
+
+  /// caller -> callee -> number of calls.
+  const std::map<std::string, std::map<std::string, std::uint64_t>>& edges()
+      const {
+    return edges_;
+  }
+
+  std::vector<std::string> callees_of(const std::string& caller) const;
+  std::vector<std::string> callers_of(const std::string& callee) const;
+
+  /// Total number of distinct (caller, callee) edges.
+  std::size_t edge_count() const;
+
+  /// Graphviz dot rendering; when a classification is given, pure
+  /// non-atomic methods are drawn red and conditional ones orange.
+  std::string to_dot(const Classification* cls = nullptr) const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::uint64_t>> edges_;
+};
+
+/// For every method that was classified failure non-atomic, the set of
+/// injection sites (methods at which the exception was injected) whose runs
+/// produced its non-atomic marks.  Marks from *real* (non-injected)
+/// exceptions in a run are attributed to that run's injection site as well —
+/// they would have occurred in any run, so every site appears.
+struct Blame {
+  /// victim qualified name -> injection-site qualified names.
+  std::map<std::string, std::set<std::string>> sites_of;
+
+  /// Sites that are the *only* cause of some victim's non-atomicity:
+  /// declaring them exception-free re-classifies that victim as atomic.
+  /// Returns victim -> its single site.
+  std::map<std::string, std::string> single_site_victims() const;
+};
+
+Blame blame_analysis(const Campaign& campaign);
+
+/// Suggests exception-free declarations: the injection sites which, if
+/// declared exception-free (Section 4.3), would re-classify at least one
+/// currently non-atomic method as atomic.  Sorted by how many victims each
+/// site fully explains.
+std::vector<std::string> suggest_exception_free(const Campaign& campaign);
+
+}  // namespace fatomic::detect

@@ -1,0 +1,58 @@
+// Raw results of an injection campaign: one RunRecord per execution of the
+// exception injector program (Figure 1, step 3), plus the call counts of the
+// uninstrumented program (used for the call-weighted figures).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fatomic/weave/runtime.hpp"
+
+namespace fatomic::detect {
+
+/// Observations from one run of the injector program at a fixed threshold.
+struct RunRecord {
+  std::uint64_t injection_point = 0;  ///< the run's threshold
+  bool injected = false;              ///< did the counter reach the threshold?
+  const weave::MethodInfo* injected_method = nullptr;
+  std::string injected_exception;
+  /// Atomicity marks in exception-propagation order (callee first).
+  std::vector<weave::Mark> marks;
+  bool escaped = false;  ///< the exception escaped the whole program
+  std::string escape_what;
+};
+
+struct Campaign {
+  std::vector<RunRecord> runs;
+  std::unordered_map<const weave::MethodInfo*, std::uint64_t> call_counts;
+  /// Dynamic call-graph edges from the Count baseline run; nullptr caller
+  /// means "called from the program top level".
+  std::map<std::pair<const weave::MethodInfo*, const weave::MethodInfo*>,
+           std::uint64_t>
+      call_edges;
+
+  /// Number of exceptions actually injected (Table 1, #Injections).
+  std::uint64_t injections() const {
+    std::uint64_t n = 0;
+    for (const RunRecord& r : runs) n += r.injected ? 1 : 0;
+    return n;
+  }
+
+  /// Methods "defined and used" by the program (Table 1, #Methods).
+  std::size_t distinct_methods() const { return call_counts.size(); }
+
+  /// Distinct classes among the used methods (Table 1, #Classes).
+  std::size_t distinct_classes() const;
+
+  std::uint64_t total_calls() const {
+    std::uint64_t n = 0;
+    for (const auto& [mi, c] : call_counts) n += c;
+    return n;
+  }
+};
+
+}  // namespace fatomic::detect

@@ -1,0 +1,82 @@
+#include "fatomic/detect/experiment.hpp"
+
+#include <exception>
+#include <set>
+#include <utility>
+
+namespace fatomic::detect {
+
+std::size_t Campaign::distinct_classes() const {
+  std::set<std::string> classes;
+  for (const auto& [mi, count] : call_counts) classes.insert(mi->class_name());
+  return classes.size();
+}
+
+Experiment::Experiment(std::function<void()> program, Options opts)
+    : program_(std::move(program)), opts_(std::move(opts)) {}
+
+namespace {
+
+/// RAII: installs a wrap predicate for the campaign and restores none after.
+class ScopedWrap {
+ public:
+  explicit ScopedWrap(weave::Runtime::WrapPredicate p) {
+    if (p) weave::Runtime::instance().set_wrap_predicate(std::move(p));
+  }
+  ~ScopedWrap() { weave::Runtime::instance().set_wrap_predicate(nullptr); }
+};
+
+}  // namespace
+
+Campaign Experiment::run() {
+  auto& rt = weave::Runtime::instance();
+  Campaign campaign;
+
+  // Baseline: call counts of the original program (Figures 2b / 3b).
+  {
+    weave::ScopedMode mode(weave::Mode::Count);
+    rt.reset_counts();
+    program_();
+    campaign.call_counts = rt.call_counts;
+    campaign.call_edges = rt.call_edges;
+  }
+
+  ScopedWrap wrap(opts_.masked ? opts_.wrap : nullptr);
+  const weave::Mode mode =
+      opts_.masked ? weave::Mode::InjectMask : weave::Mode::Inject;
+
+  struct DiffFlag {
+    bool saved = weave::Runtime::instance().record_diffs;
+    ~DiffFlag() { weave::Runtime::instance().record_diffs = saved; }
+  } diff_flag;
+  rt.record_diffs = opts_.record_diffs;
+
+  for (std::uint64_t threshold = 1; threshold <= opts_.max_runs; ++threshold) {
+    weave::ScopedMode m(mode);
+    rt.begin_run(threshold);
+
+    RunRecord rec;
+    rec.injection_point = threshold;
+    try {
+      program_();
+    } catch (const std::exception& e) {
+      rec.escaped = true;
+      rec.escape_what = e.what();
+    } catch (...) {
+      rec.escaped = true;
+      rec.escape_what = "(non-standard exception)";
+    }
+
+    rec.injected = rt.injected;
+    rec.injected_method = rt.injected_method;
+    rec.injected_exception = rt.injected_exception;
+    rec.marks = rt.marks;
+
+    const bool exhausted = rt.point < threshold;
+    if (!rec.injected && exhausted) break;  // all injection points visited
+    campaign.runs.push_back(std::move(rec));
+  }
+  return campaign;
+}
+
+}  // namespace fatomic::detect

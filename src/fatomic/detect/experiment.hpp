@@ -1,0 +1,49 @@
+// The automated-experiment driver (Figure 1, step 3): executes the injector
+// program repeatedly, incrementing the injection threshold before each run so
+// every potential injection point fires exactly once across the campaign.
+// The campaign terminates when a run's counter never reaches the threshold —
+// all injection points of the (deterministic) program are then exhausted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fatomic/detect/campaign.hpp"
+#include "fatomic/weave/runtime.hpp"
+
+namespace fatomic::detect {
+
+struct Options {
+  /// Safety valve against runaway campaigns on non-terminating programs.
+  std::uint64_t max_runs = 10'000'000;
+
+  /// Run the campaign against the *corrected* program (injection wrappers
+  /// around atomicity wrappers) to verify that masking removed all
+  /// non-atomic behaviour.  Requires `wrap` (or a predicate already
+  /// installed in the runtime).
+  bool masked = false;
+
+  /// Wrap predicate installed for the duration of the campaign when
+  /// `masked` is set.
+  weave::Runtime::WrapPredicate wrap;
+
+  /// Attach a one-line object-graph diff to every non-atomic mark (what
+  /// state the failed method left behind).  Costs one diff per intercepted
+  /// exception.
+  bool record_diffs = false;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(std::function<void()> program, Options opts = {});
+
+  /// Runs the full campaign: one Count-mode baseline run for call counts,
+  /// then one injector run per injection point.
+  Campaign run();
+
+ private:
+  std::function<void()> program_;
+  Options opts_;
+};
+
+}  // namespace fatomic::detect

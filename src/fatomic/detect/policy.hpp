@@ -1,0 +1,24 @@
+// Programmer policy for the detection and masking phases — the programmatic
+// stand-in for the paper's web interface (Section 4.3): methods declared
+// exception-free (their injections are discounted, re-classifying callers
+// that were non-atomic solely because of them), and methods that must not be
+// wrapped (intentional non-atomicity, or methods the programmer prefers to
+// fix by hand).
+#pragma once
+
+#include <set>
+#include <string>
+
+namespace fatomic::detect {
+
+struct Policy {
+  /// Qualified names ("Class::method") the programmer asserts never throw at
+  /// runtime; campaign runs whose exception was injected at these methods
+  /// are discarded before classification.
+  std::set<std::string> exception_free;
+
+  /// Qualified names excluded from automatic masking.
+  std::set<std::string> no_wrap;
+};
+
+}  // namespace fatomic::detect

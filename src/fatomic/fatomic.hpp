@@ -1,0 +1,41 @@
+// fatomic — automatic detection and masking of non-atomic exception handling.
+//
+// Umbrella header for the public API.  Reproduction of C. Fetzer,
+// K. Högstedt, P. Felber, "Automatic Detection and Masking of Non-Atomic
+// Exception Handling", DSN 2003.
+//
+// Typical use:
+//
+//   #include "fatomic/fatomic.hpp"
+//
+//   // 1. Instrument a class (FAT_REFLECT + FAT_METHOD_INFO + FAT_INVOKE).
+//   // 2. Detect:
+//   fatomic::detect::Experiment exp([] { run_my_workload(); });
+//   auto campaign = exp.run();
+//   auto cls = fatomic::detect::classify(campaign);
+//   // 3. Mask the pure failure non-atomic methods:
+//   auto wrap = fatomic::mask::wrap_pure(cls);
+//   {
+//     fatomic::mask::MaskedScope masked(wrap);
+//     run_my_workload();  // rolls back on every escaping exception
+//   }
+//   // 4. Verify:
+//   auto verified = fatomic::mask::verify_masked([] { run_my_workload(); },
+//                                                wrap);
+//   assert(verified.nonatomic_names().empty());
+#pragma once
+
+#include "fatomic/common/error.hpp"
+#include "fatomic/detect/callgraph.hpp"
+#include "fatomic/detect/classify.hpp"
+#include "fatomic/detect/experiment.hpp"
+#include "fatomic/detect/policy.hpp"
+#include "fatomic/mask/masker.hpp"
+#include "fatomic/memory/rc_ptr.hpp"
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/report/json.hpp"
+#include "fatomic/report/report.hpp"
+#include "fatomic/snapshot/capture.hpp"
+#include "fatomic/snapshot/diff.hpp"
+#include "fatomic/snapshot/restore.hpp"
+#include "fatomic/weave/macros.hpp"

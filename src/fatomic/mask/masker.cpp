@@ -1,0 +1,56 @@
+#include "fatomic/mask/masker.hpp"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace fatomic::mask {
+
+namespace {
+
+weave::Runtime::WrapPredicate make_predicate(std::set<std::string> names) {
+  auto shared = std::make_shared<std::set<std::string>>(std::move(names));
+  return [shared](const weave::MethodInfo& mi) {
+    return shared->count(mi.qualified_name()) != 0;
+  };
+}
+
+}  // namespace
+
+weave::Runtime::WrapPredicate wrap_pure(const detect::Classification& cls,
+                                        const detect::Policy& policy) {
+  std::set<std::string> names;
+  for (const std::string& n : cls.pure_names())
+    if (!policy.no_wrap.count(n)) names.insert(n);
+  return make_predicate(std::move(names));
+}
+
+weave::Runtime::WrapPredicate wrap_all_nonatomic(
+    const detect::Classification& cls, const detect::Policy& policy) {
+  std::set<std::string> names;
+  for (const std::string& n : cls.nonatomic_names())
+    if (!policy.no_wrap.count(n)) names.insert(n);
+  return make_predicate(std::move(names));
+}
+
+MaskedScope::MaskedScope(weave::Runtime::WrapPredicate wrap)
+    : mode_(weave::Mode::Mask) {
+  weave::Runtime::instance().set_wrap_predicate(std::move(wrap));
+}
+
+MaskedScope::~MaskedScope() {
+  weave::Runtime::instance().set_wrap_predicate(nullptr);
+}
+
+detect::Classification verify_masked(std::function<void()> program,
+                                     weave::Runtime::WrapPredicate wrap,
+                                     const detect::Policy& policy) {
+  detect::Options opts;
+  opts.masked = true;
+  opts.wrap = std::move(wrap);
+  detect::Experiment exp(std::move(program), std::move(opts));
+  return detect::classify(exp.run(), policy);
+}
+
+}  // namespace fatomic::mask

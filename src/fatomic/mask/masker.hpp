@@ -1,0 +1,47 @@
+// The masking phase (Figure 1, steps 4-5): derives the set of methods whose
+// calls are replaced by atomicity wrappers, installs it into the runtime,
+// and verifies the corrected program by re-running the injection campaign
+// against the masked program.
+#pragma once
+
+#include <functional>
+
+#include "fatomic/detect/classify.hpp"
+#include "fatomic/detect/experiment.hpp"
+#include "fatomic/weave/runtime.hpp"
+
+namespace fatomic::mask {
+
+/// Wrap only the pure failure non-atomic methods (minus policy.no_wrap).
+/// Sufficient: once every pure method is failure atomic, every conditional
+/// method is atomic by Definition 3 (induction over the call graph).
+weave::Runtime::WrapPredicate wrap_pure(const detect::Classification& cls,
+                                        const detect::Policy& policy = {});
+
+/// Wrap every failure non-atomic method (pure and conditional).  More
+/// checkpointing than necessary — used as the conservative baseline and by
+/// the ablation bench.
+weave::Runtime::WrapPredicate wrap_all_nonatomic(
+    const detect::Classification& cls, const detect::Policy& policy = {});
+
+/// RAII: switches the runtime to the corrected program P_C — Mask mode plus
+/// the given wrap predicate — for the lifetime of the scope.
+class MaskedScope {
+ public:
+  explicit MaskedScope(weave::Runtime::WrapPredicate wrap);
+  ~MaskedScope();
+  MaskedScope(const MaskedScope&) = delete;
+  MaskedScope& operator=(const MaskedScope&) = delete;
+
+ private:
+  weave::ScopedMode mode_;
+};
+
+/// Re-runs the full injection campaign against the masked program and
+/// returns its classification; an effective mask yields zero non-atomic
+/// methods.
+detect::Classification verify_masked(std::function<void()> program,
+                                     weave::Runtime::WrapPredicate wrap,
+                                     const detect::Policy& policy = {});
+
+}  // namespace fatomic::mask

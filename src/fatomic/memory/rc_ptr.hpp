@@ -1,0 +1,101 @@
+// Reference-counted smart pointer used by subject data structures.
+//
+// The paper's masking phase discards part of the current object graph when it
+// rolls back to a checkpoint, and adds "an automatic reference counting
+// mechanism to objects" so the discarded part is reclaimed (Section 5.1).
+// rc_ptr is that mechanism: a single-threaded, non-atomic reference count
+// (the runtime is single-threaded by design, Section 4.4).  Like the paper's
+// scheme it reclaims acyclic structures only; cyclic subject structures use
+// owned raw pointers, which the restorer reclaims with a cycle-safe sweep
+// (see fatomic/snapshot/restore.hpp).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace fatomic::memory {
+
+template <class T>
+class rc_ptr {
+ public:
+  rc_ptr() = default;
+  rc_ptr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Creates a new reference-counted object.
+  template <class... Args>
+  static rc_ptr make(Args&&... args) {
+    rc_ptr p;
+    p.cb_ = new ControlBlock{T(std::forward<Args>(args)...), 1};
+    return p;
+  }
+
+  rc_ptr(const rc_ptr& other) : cb_(other.cb_) { retain(); }
+  rc_ptr(rc_ptr&& other) noexcept : cb_(other.cb_) { other.cb_ = nullptr; }
+
+  rc_ptr& operator=(const rc_ptr& other) {
+    if (this != &other) {
+      release();
+      cb_ = other.cb_;
+      retain();
+    }
+    return *this;
+  }
+  rc_ptr& operator=(rc_ptr&& other) noexcept {
+    if (this != &other) {
+      release();
+      cb_ = other.cb_;
+      other.cb_ = nullptr;
+    }
+    return *this;
+  }
+  rc_ptr& operator=(std::nullptr_t) {
+    release();
+    cb_ = nullptr;
+    return *this;
+  }
+
+  ~rc_ptr() { release(); }
+
+  T* get() const { return cb_ ? &cb_->obj : nullptr; }
+  T& operator*() const { return cb_->obj; }
+  T* operator->() const { return &cb_->obj; }
+  explicit operator bool() const { return cb_ != nullptr; }
+
+  /// Number of rc_ptr instances sharing the object (0 for null).
+  std::size_t use_count() const { return cb_ ? cb_->count : 0; }
+
+  void reset() {
+    release();
+    cb_ = nullptr;
+  }
+
+  friend bool operator==(const rc_ptr& a, const rc_ptr& b) {
+    return a.cb_ == b.cb_;
+  }
+  friend bool operator==(const rc_ptr& a, std::nullptr_t) {
+    return a.cb_ == nullptr;
+  }
+
+ private:
+  struct ControlBlock {
+    T obj;
+    std::size_t count;
+  };
+
+  void retain() {
+    if (cb_) ++cb_->count;
+  }
+  void release() {
+    if (cb_ && --cb_->count == 0) delete cb_;
+  }
+
+  ControlBlock* cb_ = nullptr;
+};
+
+/// Convenience factory mirroring std::make_shared.
+template <class T, class... Args>
+rc_ptr<T> make_rc(Args&&... args) {
+  return rc_ptr<T>::make(std::forward<Args>(args)...);
+}
+
+}  // namespace fatomic::memory

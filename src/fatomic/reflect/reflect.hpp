@@ -1,0 +1,119 @@
+// Compile-time reflection substrate.
+//
+// C++ has no runtime reflection, but the paper's system needs to discover the
+// object graph of arbitrary receiver objects (Definition 1).  The paper's C++
+// prototype generated per-class deep_copy/replace functions from CINT type
+// information (Section 5.1); we substitute a field-registration scheme: every
+// checkpointable class specializes fatomic::reflect::Reflect<T> (usually via
+// the FAT_REFLECT macro), listing its members.  The snapshot walkers in
+// fatomic/snapshot then derive deep copy, structural comparison and restore
+// generically from these descriptors.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <type_traits>
+
+namespace fatomic::reflect {
+
+/// Descriptor of a single data member of class C with type T.
+///
+/// `owned` matters only for raw pointer members: an owned edge means the
+/// object is responsible for deleting the pointee, so the restorer allocates
+/// a fresh pointee on rollback and reclaims the replaced one.  Non-owned raw
+/// pointers are treated as aliases into the surrounding object graph.
+template <class C, class T>
+struct Field {
+  const char* name;
+  T C::* member;
+  bool owned;
+};
+
+/// Declares a plain (non-owning) field descriptor.
+template <class C, class T>
+constexpr Field<C, T> field(const char* name, T C::* member) {
+  return Field<C, T>{name, member, false};
+}
+
+/// Declares an owning raw-pointer field descriptor.
+template <class C, class T>
+constexpr Field<C, T> owned_field(const char* name, T C::* member) {
+  static_assert(std::is_pointer_v<T>,
+                "owned_field is only meaningful for raw pointer members");
+  return Field<C, T>{name, member, true};
+}
+
+/// Primary template; specialize for every reflected class:
+///
+///   template <> struct fatomic::reflect::Reflect<MyClass> {
+///     static constexpr const char* name = "MyClass";
+///     static constexpr auto fields = std::make_tuple(
+///         fatomic::reflect::field("x", &MyClass::x), ...);
+///   };
+///
+/// or use FAT_REFLECT below.
+template <class T>
+struct Reflect;
+
+namespace detail {
+template <class T, class = void>
+struct is_reflected : std::false_type {};
+template <class T>
+struct is_reflected<T, std::void_t<decltype(Reflect<T>::name),
+                                   decltype(Reflect<T>::fields)>>
+    : std::true_type {};
+}  // namespace detail
+
+/// True when Reflect<T> has been specialized.
+template <class T>
+inline constexpr bool is_reflected_v =
+    detail::is_reflected<std::remove_cv_t<T>>::value;
+
+template <class T>
+concept Reflected = is_reflected_v<T>;
+
+/// Number of registered fields of a reflected class.
+template <Reflected T>
+constexpr std::size_t field_count() {
+  return std::tuple_size_v<decltype(Reflect<std::remove_cv_t<T>>::fields)>;
+}
+
+/// Invokes fn(field_descriptor) for every registered field of T, in
+/// declaration order.  The order is part of the object-graph structure: the
+/// snapshot engine assigns node ids in this order, which is what makes
+/// elementwise snapshot comparison equivalent to graph-structural equality.
+template <Reflected T, class Fn>
+constexpr void for_each_field(Fn&& fn) {
+  std::apply([&](const auto&... fs) { (fn(fs), ...); },
+             Reflect<std::remove_cv_t<T>>::fields);
+}
+
+}  // namespace fatomic::reflect
+
+/// Registers Class with the reflection substrate.  Must appear at global
+/// scope.  Field arguments are FAT_FIELD / FAT_OWNED invocations.
+#define FAT_REFLECT(Class, ...)                              \
+  template <>                                                \
+  struct fatomic::reflect::Reflect<Class> {                  \
+    static constexpr const char* name = #Class;              \
+    static constexpr auto fields = std::make_tuple(__VA_ARGS__); \
+  }
+
+/// Registers Class with zero fields (stateless or opaque classes).
+#define FAT_REFLECT_EMPTY(Class)                             \
+  template <>                                                \
+  struct fatomic::reflect::Reflect<Class> {                  \
+    static constexpr const char* name = #Class;              \
+    static constexpr auto fields = std::make_tuple();        \
+  }
+
+#define FAT_FIELD(Class, member) \
+  ::fatomic::reflect::field(#member, &Class::member)
+
+#define FAT_OWNED(Class, member) \
+  ::fatomic::reflect::owned_field(#member, &Class::member)
+
+/// Grants the reflection machinery access to private members; place inside
+/// the class definition.
+#define FAT_REFLECT_FRIEND(Class) \
+  friend struct ::fatomic::reflect::Reflect<Class>

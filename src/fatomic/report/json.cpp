@@ -1,0 +1,105 @@
+#include "fatomic/report/json.hpp"
+
+#include <sstream>
+
+namespace fatomic::report {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const char* cls_tag(detect::MethodClass c) {
+  switch (c) {
+    case detect::MethodClass::Atomic:
+      return "atomic";
+    case detect::MethodClass::ConditionalNonAtomic:
+      return "conditional";
+    case detect::MethodClass::PureNonAtomic:
+      return "pure";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string classification_json(const detect::Classification& cls) {
+  std::ostringstream os;
+  os << "{\"methods\":[";
+  bool first = true;
+  for (const auto& m : cls.methods) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(m.method->qualified_name())
+       << "\",\"class\":\"" << json_escape(m.method->class_name())
+       << "\",\"classification\":\"" << cls_tag(m.cls)
+       << "\",\"calls\":" << m.calls << ",\"atomic_marks\":" << m.atomic_marks
+       << ",\"nonatomic_marks\":" << m.nonatomic_marks << '}';
+  }
+  os << "],\"classes\":[";
+  first = true;
+  for (const auto& c : cls.classes) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(c.class_name)
+       << "\",\"classification\":\"" << cls_tag(c.cls)
+       << "\",\"methods\":" << c.methods << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string campaign_json(const detect::Campaign& campaign) {
+  std::ostringstream os;
+  os << "{\"runs\":" << campaign.runs.size()
+     << ",\"injections\":" << campaign.injections()
+     << ",\"methods\":" << campaign.distinct_methods()
+     << ",\"classes\":" << campaign.distinct_classes()
+     << ",\"total_calls\":" << campaign.total_calls() << ",\"details\":[";
+  bool first = true;
+  for (const auto& run : campaign.runs) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"point\":" << run.injection_point << ",\"site\":\""
+       << json_escape(run.injected_method != nullptr
+                          ? run.injected_method->qualified_name()
+                          : "")
+       << "\",\"exception\":\"" << json_escape(run.injected_exception)
+       << "\",\"escaped\":" << (run.escaped ? "true" : "false")
+       << ",\"marks\":" << run.marks.size() << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace fatomic::report

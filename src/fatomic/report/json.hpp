@@ -1,0 +1,22 @@
+// JSON emission for campaigns and classifications — machine-readable output
+// for dashboards and offline analysis (the paper's prototype wrote log files
+// processed offline; this is our structured equivalent).
+#pragma once
+
+#include <string>
+
+#include "fatomic/detect/campaign.hpp"
+#include "fatomic/detect/classify.hpp"
+
+namespace fatomic::report {
+
+/// One JSON object per method: name, class, classification, calls, marks.
+std::string classification_json(const detect::Classification& cls);
+
+/// Campaign summary: runs, injections, per-run injected site and outcome.
+std::string campaign_json(const detect::Campaign& campaign);
+
+/// Escapes a string for inclusion in JSON output.
+std::string json_escape(const std::string& s);
+
+}  // namespace fatomic::report

@@ -1,0 +1,140 @@
+#include "fatomic/report/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace fatomic::report {
+
+namespace {
+
+using detect::MethodClass;
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                static_cast<double>(whole);
+}
+
+Shares shares_from(std::uint64_t atomic, std::uint64_t cond,
+                   std::uint64_t pure) {
+  const std::uint64_t total = atomic + cond + pure;
+  return Shares{pct(atomic, total), pct(cond, total), pct(pure, total)};
+}
+
+void header(std::ostringstream& os, const std::string& title,
+            const char* metric) {
+  os << title << '\n';
+  os << std::left << std::setw(16) << "application" << std::setw(6) << "lang"
+     << std::right << std::setw(12) << "atomic%" << std::setw(16)
+     << "conditional%" << std::setw(10) << "pure%" << "   (" << metric
+     << ")\n";
+}
+
+void row(std::ostringstream& os, const AppResult& app, const Shares& s) {
+  os << std::left << std::setw(16) << app.name << std::setw(6) << app.language
+     << std::right << std::fixed << std::setprecision(2) << std::setw(12)
+     << s.atomic << std::setw(16) << s.conditional << std::setw(10) << s.pure
+     << '\n';
+}
+
+}  // namespace
+
+Shares method_shares(const AppResult& app) {
+  const auto& c = app.classification;
+  return shares_from(c.count_methods(MethodClass::Atomic),
+                     c.count_methods(MethodClass::ConditionalNonAtomic),
+                     c.count_methods(MethodClass::PureNonAtomic));
+}
+
+Shares call_shares(const AppResult& app) {
+  const auto& c = app.classification;
+  return shares_from(c.count_calls(MethodClass::Atomic),
+                     c.count_calls(MethodClass::ConditionalNonAtomic),
+                     c.count_calls(MethodClass::PureNonAtomic));
+}
+
+Shares class_shares(const AppResult& app) {
+  const auto& c = app.classification;
+  return shares_from(c.count_classes(MethodClass::Atomic),
+                     c.count_classes(MethodClass::ConditionalNonAtomic),
+                     c.count_classes(MethodClass::PureNonAtomic));
+}
+
+std::string table1(const std::vector<AppResult>& apps) {
+  std::ostringstream os;
+  os << "Table 1: application statistics\n";
+  os << std::left << std::setw(16) << "application" << std::setw(6) << "lang"
+     << std::right << std::setw(10) << "#Classes" << std::setw(10)
+     << "#Methods" << std::setw(14) << "#Injections" << '\n';
+  for (const AppResult& app : apps) {
+    os << std::left << std::setw(16) << app.name << std::setw(6)
+       << app.language << std::right << std::setw(10)
+       << app.campaign.distinct_classes() << std::setw(10)
+       << app.campaign.distinct_methods() << std::setw(14)
+       << app.campaign.injections() << '\n';
+  }
+  return os.str();
+}
+
+std::string figure_methods(const std::vector<AppResult>& apps,
+                           const std::string& title) {
+  std::ostringstream os;
+  header(os, title, "% of methods defined and used");
+  for (const AppResult& app : apps) row(os, app, method_shares(app));
+  return os.str();
+}
+
+std::string figure_calls(const std::vector<AppResult>& apps,
+                         const std::string& title) {
+  std::ostringstream os;
+  header(os, title, "% of method calls");
+  for (const AppResult& app : apps) row(os, app, call_shares(app));
+  return os.str();
+}
+
+std::string figure_classes(const std::vector<AppResult>& apps,
+                           const std::string& title) {
+  std::ostringstream os;
+  header(os, title, "% of classes");
+  for (const AppResult& app : apps) row(os, app, class_shares(app));
+  return os.str();
+}
+
+std::string method_details(const AppResult& app) {
+  std::ostringstream os;
+  os << app.name << ": per-method classification\n";
+  os << std::left << std::setw(44) << "method" << std::setw(26)
+     << "classification" << std::right << std::setw(8) << "calls"
+     << std::setw(10) << "atomic" << std::setw(12) << "nonatomic" << '\n';
+  for (const auto& m : app.classification.methods) {
+    os << std::left << std::setw(44) << m.method->qualified_name()
+       << std::setw(26) << detect::to_string(m.cls) << std::right
+       << std::setw(8) << m.calls << std::setw(10) << m.atomic_marks
+       << std::setw(12) << m.nonatomic_marks << '\n';
+    if (!m.example_detail.empty())
+      os << "      e.g. " << m.example_detail << '\n';
+  }
+  return os.str();
+}
+
+std::string to_csv(const std::vector<AppResult>& apps) {
+  std::ostringstream os;
+  os << "app,language,classes,methods,injections,"
+        "methods_atomic_pct,methods_cond_pct,methods_pure_pct,"
+        "calls_atomic_pct,calls_cond_pct,calls_pure_pct,"
+        "classes_atomic_pct,classes_cond_pct,classes_pure_pct\n";
+  os << std::fixed << std::setprecision(4);
+  for (const AppResult& app : apps) {
+    const Shares m = method_shares(app);
+    const Shares c = call_shares(app);
+    const Shares k = class_shares(app);
+    os << app.name << ',' << app.language << ','
+       << app.campaign.distinct_classes() << ','
+       << app.campaign.distinct_methods() << ',' << app.campaign.injections()
+       << ',' << m.atomic << ',' << m.conditional << ',' << m.pure << ','
+       << c.atomic << ',' << c.conditional << ',' << c.pure << ','
+       << k.atomic << ',' << k.conditional << ',' << k.pure << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fatomic::report

@@ -1,0 +1,55 @@
+// Formatters that regenerate the paper's evaluation artifacts: Table 1
+// (application statistics) and the data series behind Figures 2-4 (method
+// and class classification, by count and by call weight), as aligned ASCII
+// tables and CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fatomic/detect/classify.hpp"
+
+namespace fatomic::report {
+
+/// Results of one subject application's campaign.
+struct AppResult {
+  std::string name;
+  std::string language;  ///< "C++" or "Java" (the paper's two suites)
+  detect::Campaign campaign;
+  detect::Classification classification;
+};
+
+/// Percentage triple (atomic / conditional / pure), rows of Figures 2-4.
+struct Shares {
+  double atomic = 0;
+  double conditional = 0;
+  double pure = 0;
+};
+
+Shares method_shares(const AppResult& app);  ///< Figures 2(a)/3(a)
+Shares call_shares(const AppResult& app);    ///< Figures 2(b)/3(b)
+Shares class_shares(const AppResult& app);   ///< Figure 4
+
+/// Table 1: #Classes, #Methods, #Injections per application.
+std::string table1(const std::vector<AppResult>& apps);
+
+/// Figures 2(a)/3(a): classification as % of methods defined and used.
+std::string figure_methods(const std::vector<AppResult>& apps,
+                           const std::string& title);
+
+/// Figures 2(b)/3(b): classification as % of method calls.
+std::string figure_calls(const std::vector<AppResult>& apps,
+                         const std::string& title);
+
+/// Figure 4: distribution of classes by classification.
+std::string figure_classes(const std::vector<AppResult>& apps,
+                           const std::string& title);
+
+/// Per-method detail listing for one application (diagnostics and the
+/// LinkedList case study).
+std::string method_details(const AppResult& app);
+
+/// CSV with one row per (app, metric) for offline plotting.
+std::string to_csv(const std::vector<AppResult>& apps);
+
+}  // namespace fatomic::report

@@ -1,0 +1,94 @@
+// Snapshot node table: the concrete representation of an object graph
+// (Definition 1 in the paper).
+//
+// A Snapshot is a flat table of nodes; node ids are assigned in deterministic
+// depth-first pre-order of the capture walk (field declaration order for
+// objects, iteration order for containers).  Two captures of structurally
+// equal object graphs therefore produce identical tables, so object-graph
+// equality — including pointer-sharing structure — reduces to an elementwise
+// table comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fatomic::snapshot {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Canonical storage for primitive leaves.  All signed integral types map to
+/// int64_t, unsigned to uint64_t, floating point to double; this keeps
+/// comparison exact while bounding the variant size.
+using Prim =
+    std::variant<bool, char, std::int64_t, std::uint64_t, double, std::string>;
+
+enum class NodeKind : std::uint8_t {
+  Primitive,    ///< leaf value
+  Object,       ///< reflected class; children = field nodes in order
+  Sequence,     ///< container / array / optional; children = element nodes
+  Pointer,      ///< non-null pointer; `pointee` is the referenced node
+  NullPointer,  ///< null pointer (no children, per Definition 1)
+};
+
+struct Node {
+  NodeKind kind = NodeKind::Primitive;
+  /// Static type name (Reflect<T>::name for objects, a fixed tag otherwise);
+  /// for pointers to polymorphic bases this is the *dynamic* class name,
+  /// which the restorer uses to re-create the right derived object.
+  const char* type_name = "";
+  Prim value{};                   ///< Primitive only
+  std::vector<NodeId> children;   ///< Object / Sequence only
+  /// Field names parallel to `children` (Object kind only; static strings
+  /// from the reflection descriptors).  Not part of equality — two nodes
+  /// with the same type_name always have the same field names.
+  std::vector<const char*> child_names;
+  NodeId pointee = kInvalidNode;  ///< Pointer only
+  bool owned_edge = false;        ///< Pointer only: edge owns the pointee
+  /// Address of the live value this node was captured from.  Not part of
+  /// graph equality; used by the restorer to restore external (unowned,
+  /// unmaterialized) pointees in place.
+  const void* src_addr = nullptr;
+
+  /// Structural equality — ignores src_addr.
+  friend bool operator==(const Node& a, const Node& b) {
+    return a.kind == b.kind && a.pointee == b.pointee &&
+           a.owned_edge == b.owned_edge && a.children == b.children &&
+           a.value == b.value &&
+           std::string_view(a.type_name) == std::string_view(b.type_name);
+  }
+};
+
+/// An immutable checkpoint of an object graph.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  NodeId root() const { return root_; }
+  bool empty() const { return nodes_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Graph-structural equality (see file comment for why elementwise
+  /// comparison is sufficient).
+  bool equals(const Snapshot& other) const {
+    return root_ == other.root_ && nodes_ == other.nodes_;
+  }
+
+  /// Structural hash; equal snapshots hash equally.  Used by the fast-path
+  /// comparison ablation in bench_fig5.
+  std::size_t hash() const;
+
+  /// Human-readable dump for diagnostics and tests.
+  std::string to_string() const;
+
+ private:
+  friend class Builder;
+  std::vector<Node> nodes_;
+  NodeId root_ = kInvalidNode;
+};
+
+}  // namespace fatomic::snapshot

@@ -1,0 +1,28 @@
+#include "fatomic/snapshot/poly.hpp"
+
+namespace fatomic::snapshot {
+
+PolyRegistry& PolyRegistry::instance() {
+  static PolyRegistry reg;
+  return reg;
+}
+
+void PolyRegistry::add(std::type_index base, std::type_index dynamic,
+                       const PolyOps* ops) {
+  by_type_.emplace(std::make_pair(base, dynamic), ops);
+  by_name_.emplace(std::make_pair(base, std::string(ops->class_name)), ops);
+}
+
+const PolyOps* PolyRegistry::find(std::type_index base,
+                                  std::type_index dynamic) const {
+  auto it = by_type_.find(std::make_pair(base, dynamic));
+  return it == by_type_.end() ? nullptr : it->second;
+}
+
+const PolyOps* PolyRegistry::find(std::type_index base,
+                                  const std::string& name) const {
+  auto it = by_name_.find(std::make_pair(base, name));
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+}  // namespace fatomic::snapshot

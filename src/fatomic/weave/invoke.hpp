@@ -1,0 +1,179 @@
+// The wrapper engine: every instrumented subject method routes its body
+// through invoke(), which applies the behaviour of the active Mode:
+//
+//   Inject      — the paper's injection wrapper (Listing 1): fire injection
+//                 points, deep-copy the receiver, call, and on an exception
+//                 compare object graphs, mark atomic/non-atomic, rethrow.
+//   Mask        — the paper's atomicity wrapper (Listing 2): checkpoint,
+//                 call, roll back and rethrow on exception (only for methods
+//                 selected by the wrap predicate).
+//   InjectMask  — injection wrapper around the atomicity wrapper, used to
+//                 verify that the corrected program P_C is failure atomic.
+//   Count       — call counting for the call-weighted figures.
+//   Direct      — the original program P.
+#pragma once
+
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "fatomic/snapshot/diff.hpp"
+#include "fatomic/snapshot/restore.hpp"
+#include "fatomic/weave/method_info.hpp"
+#include "fatomic/weave/runtime.hpp"
+
+namespace fatomic::weave {
+
+namespace detail {
+
+/// Listing 1, lines 2-5: one potential injection point per exception type
+/// (declared first, then the generic runtime exceptions), gated by the
+/// global counter against the run threshold.
+inline void fire_injection_points(const MethodInfo& mi, Runtime& rt) {
+  auto fire = [&](const ExceptionSpec& e) {
+    if (++rt.point == rt.injection_point) {
+      rt.injected = true;
+      rt.injected_method = &mi;
+      rt.injected_exception = e.type_name;
+      e.raise();
+    }
+  };
+  for (const ExceptionSpec& e : mi.declared()) fire(e);
+  for (const ExceptionSpec& e : rt.runtime_exceptions()) fire(e);
+}
+
+/// Atomicity wrapper around `body` for checkpoint root `root` (the receiver,
+/// or a tuple of receiver + by-reference arguments).
+template <class Root, class Fn>
+decltype(auto) masked_call(const MethodInfo& mi, Root& root, Fn&& body,
+                           Runtime& rt) {
+  if constexpr (std::is_const_v<Root>) {
+    // A const receiver cannot be rolled back (and cannot be mutated through
+    // this path); run the body unwrapped.
+    (void)mi;
+    (void)root;
+    (void)rt;
+    return body();
+  } else {
+    if (!rt.should_wrap(mi)) return body();
+    ++rt.stats.wrapped_calls;
+    snapshot::Snapshot checkpoint = snapshot::capture(root);
+    ++rt.stats.snapshots_taken;
+    try {
+      return body();
+    } catch (...) {
+      snapshot::restore(root, checkpoint);
+      ++rt.stats.rollbacks;
+      throw;
+    }
+  }
+}
+
+/// Injection wrapper (Listing 1).  With mask_inner, the atomicity wrapper
+/// runs inside the injection wrapper, mirroring the paper's P_C-under-test.
+template <class Root, class Fn>
+decltype(auto) injected_call(const MethodInfo& mi, Root& root, Fn&& body,
+                             Runtime& rt, bool mask_inner) {
+  fire_injection_points(mi, rt);  // may throw into our caller's wrapper
+  auto inner = [&]() -> decltype(auto) {
+    if (mask_inner) return masked_call(mi, root, body, rt);
+    return body();
+  };
+  struct DepthGuard {
+    Runtime& rt;
+    explicit DepthGuard(Runtime& r) : rt(r) { ++rt.depth; }
+    ~DepthGuard() { --rt.depth; }
+  } depth_guard(rt);
+  snapshot::Snapshot before = snapshot::capture(root);
+  ++rt.stats.snapshots_taken;
+  try {
+    return inner();
+  } catch (...) {
+    snapshot::Snapshot after = snapshot::capture(root);
+    ++rt.stats.comparisons;
+    const bool atomic = before.equals(after);
+    std::string detail;
+    if (!atomic && rt.record_diffs)
+      detail = snapshot::first_difference(before, after);
+    rt.marks.push_back(Mark{&mi, atomic, rt.injection_point, rt.depth,
+                            std::move(detail)});
+    throw;
+  }
+}
+
+/// RAII frame on the Count-mode call stack; records the dynamic call-graph
+/// edge from the current top of stack (nullptr = program top level).
+struct CountFrame {
+  Runtime& rt;
+  explicit CountFrame(Runtime& r, const MethodInfo& mi) : rt(r) {
+    ++rt.call_counts[&mi];
+    const MethodInfo* caller =
+        rt.call_stack.empty() ? nullptr : rt.call_stack.back();
+    ++rt.call_edges[{caller, &mi}];
+    rt.call_stack.push_back(&mi);
+  }
+  ~CountFrame() { rt.call_stack.pop_back(); }
+};
+
+template <class Root, class Fn>
+decltype(auto) dispatch(const MethodInfo& mi, Root& root, Fn&& body) {
+  Runtime& rt = Runtime::instance();
+  switch (rt.mode()) {
+    case Mode::Direct:
+      return body();
+    case Mode::Count: {
+      CountFrame frame(rt, mi);
+      return body();
+    }
+    case Mode::Inject:
+      return injected_call(mi, root, body, rt, /*mask_inner=*/false);
+    case Mode::Mask:
+      return masked_call(mi, root, body, rt);
+    case Mode::InjectMask:
+      return injected_call(mi, root, body, rt, /*mask_inner=*/true);
+  }
+  return body();  // unreachable
+}
+
+}  // namespace detail
+
+/// Instance-method entry point: checkpoint root is the receiver.
+template <class Self, class Fn>
+decltype(auto) invoke(const MethodInfo& mi, Self* self, Fn&& body) {
+  return detail::dispatch(mi, *self, std::forward<Fn>(body));
+}
+
+/// Instance-method entry point with extra by-reference arguments included in
+/// the checkpoint root (the paper checkpoints "all arguments that are passed
+/// in as non-constant references", Section 4.1).  `extra` is a std::tie of
+/// those arguments.
+template <class Self, class... Refs, class Fn>
+decltype(auto) invoke_with(const MethodInfo& mi, Self* self,
+                           std::tuple<Refs...> extra, Fn&& body) {
+  auto root = std::tuple_cat(std::tie(*self), extra);
+  return detail::dispatch(mi, root, std::forward<Fn>(body));
+}
+
+/// Constructor / static entry point: no receiver, so only the injection
+/// points run (an exception here tests the *callers*' atomicity).
+template <class Fn>
+decltype(auto) invoke_static(const MethodInfo& mi, Fn&& body) {
+  Runtime& rt = Runtime::instance();
+  switch (rt.mode()) {
+    case Mode::Direct:
+      return body();
+    case Mode::Count: {
+      detail::CountFrame frame(rt, mi);
+      return body();
+    }
+    case Mode::Inject:
+    case Mode::InjectMask:
+      detail::fire_injection_points(mi, rt);
+      return body();
+    case Mode::Mask:
+      return body();
+  }
+  return body();  // unreachable
+}
+
+}  // namespace fatomic::weave

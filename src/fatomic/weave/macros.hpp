@@ -1,0 +1,72 @@
+// Instrumentation macros — the moral equivalent of the paper's Code Weaver
+// (Figure 1, steps 2 and 5).  A subject class declares metadata for each
+// public method and routes the method body through the wrapper engine:
+//
+//   class Stack {
+//    public:
+//     void push(int v) { FAT_INVOKE(push, [&] { push_impl(v); }); }
+//    private:
+//     FAT_METHOD_INFO(Stack, push, FAT_THROWS(StackError));
+//     void push_impl(int v);
+//   };
+//
+// The expansion produces exactly the wrapper nesting of the paper's woven
+// programs: every call to `push` enters inj_wrapper_push / atomic_push
+// depending on the runtime mode.
+#pragma once
+
+#include <vector>
+
+#include "fatomic/weave/invoke.hpp"
+
+/// Declares the MethodInfo for `Method` of `Class`; the variadic arguments
+/// are FAT_THROWS(...) entries listing the method's declared exceptions.
+#define FAT_METHOD_INFO(Class, Method, ...)                                  \
+  static const ::fatomic::weave::MethodInfo& fat_mi_##Method() {             \
+    static ::fatomic::weave::MethodInfo mi(                                  \
+        #Class, #Method,                                                     \
+        std::vector<::fatomic::weave::ExceptionSpec>{__VA_ARGS__});          \
+    return mi;                                                               \
+  }
+
+/// Declares MethodInfo for a static method (no receiver).
+#define FAT_STATIC_INFO(Class, Method, ...)                                  \
+  static const ::fatomic::weave::MethodInfo& fat_mi_##Method() {             \
+    static ::fatomic::weave::MethodInfo mi(                                  \
+        #Class, #Method,                                                     \
+        std::vector<::fatomic::weave::ExceptionSpec>{__VA_ARGS__},           \
+        ::fatomic::weave::MethodKind::Static);                               \
+    return mi;                                                               \
+  }
+
+/// Declares MethodInfo for the class constructor.
+#define FAT_CTOR_INFO(Class, ...)                                            \
+  static const ::fatomic::weave::MethodInfo& fat_mi_ctor() {                 \
+    static ::fatomic::weave::MethodInfo mi(                                  \
+        #Class, "(ctor)",                                                    \
+        std::vector<::fatomic::weave::ExceptionSpec>{__VA_ARGS__},           \
+        ::fatomic::weave::MethodKind::Constructor);                          \
+    return mi;                                                               \
+  }
+
+/// One declared exception of a method; E must be default-constructible.
+#define FAT_THROWS(E) \
+  ::fatomic::weave::ExceptionSpec { #E, [] { throw E(); } }
+
+/// Routes an instance-method body (a lambda) through the wrapper engine.
+#define FAT_INVOKE(Method, ...) \
+  ::fatomic::weave::invoke(fat_mi_##Method(), this, __VA_ARGS__)
+
+/// Like FAT_INVOKE, but also checkpoints non-const reference arguments:
+/// FAT_INVOKE_ARGS(swap_into, std::tie(other), [&] { ... });
+#define FAT_INVOKE_ARGS(Method, Refs, ...) \
+  ::fatomic::weave::invoke_with(fat_mi_##Method(), this, Refs, __VA_ARGS__)
+
+/// Routes a static-method body through the wrapper engine.
+#define FAT_INVOKE_STATIC(Method, ...) \
+  ::fatomic::weave::invoke_static(fat_mi_##Method(), __VA_ARGS__)
+
+/// Placed first in a constructor body: runs the constructor's injection
+/// points (an injected exception here tests the callers).
+#define FAT_CTOR_ENTRY() \
+  ::fatomic::weave::invoke_static(fat_mi_ctor(), [] {})

@@ -1,0 +1,31 @@
+#include "fatomic/weave/method_info.hpp"
+
+#include <utility>
+
+namespace fatomic::weave {
+
+MethodInfo::MethodInfo(std::string class_name, std::string method_name,
+                       std::vector<ExceptionSpec> declared, MethodKind kind)
+    : class_name_(std::move(class_name)),
+      method_name_(std::move(method_name)),
+      qualified_name_(class_name_ + "::" + method_name_),
+      declared_(std::move(declared)),
+      kind_(kind) {
+  MethodRegistry::instance().add(this);
+}
+
+MethodRegistry& MethodRegistry::instance() {
+  static MethodRegistry reg;
+  return reg;
+}
+
+void MethodRegistry::add(const MethodInfo* mi) { methods_.push_back(mi); }
+
+const MethodInfo* MethodRegistry::find(
+    const std::string& qualified_name) const {
+  for (const MethodInfo* mi : methods_)
+    if (mi->qualified_name() == qualified_name) return mi;
+  return nullptr;
+}
+
+}  // namespace fatomic::weave

@@ -1,0 +1,73 @@
+// Method metadata and the global method registry.
+//
+// The paper's Analyzer (Figure 1, step 1) determines, for each method called
+// by the program, which exceptions it may throw: the declared exceptions
+// E_1..E_k plus generic runtime exceptions E_{k+1}..E_n.  In our weaving
+// substitute each subject method declares this metadata statically with
+// FAT_METHOD_INFO (see macros.hpp); the MethodInfo registers itself in a
+// global registry the detection and masking phases consult.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fatomic::weave {
+
+/// One exception type a method may raise.  `raise` throws a fresh instance;
+/// the injection engine calls it when the global point counter hits the
+/// run's threshold (Listing 1, lines 2-5).
+struct ExceptionSpec {
+  std::string type_name;
+  std::function<void()> raise;
+};
+
+enum class MethodKind : std::uint8_t {
+  Regular,      ///< instance method with a receiver to checkpoint
+  Constructor,  ///< receiver not yet fully formed: injection points only
+  Static,       ///< no receiver: injection points only
+};
+
+class MethodInfo {
+ public:
+  MethodInfo(std::string class_name, std::string method_name,
+             std::vector<ExceptionSpec> declared,
+             MethodKind kind = MethodKind::Regular);
+
+  MethodInfo(const MethodInfo&) = delete;
+  MethodInfo& operator=(const MethodInfo&) = delete;
+
+  const std::string& class_name() const { return class_name_; }
+  const std::string& method_name() const { return method_name_; }
+  /// "Class::method" — the stable key used by policies and reports.
+  const std::string& qualified_name() const { return qualified_name_; }
+  const std::vector<ExceptionSpec>& declared() const { return declared_; }
+  MethodKind kind() const { return kind_; }
+  bool has_receiver() const { return kind_ == MethodKind::Regular; }
+
+ private:
+  std::string class_name_;
+  std::string method_name_;
+  std::string qualified_name_;
+  std::vector<ExceptionSpec> declared_;
+  MethodKind kind_;
+};
+
+/// Registry of every MethodInfo constructed in the process; the equivalent
+/// of the Analyzer's method inventory.
+class MethodRegistry {
+ public:
+  static MethodRegistry& instance();
+
+  void add(const MethodInfo* mi);
+  const std::vector<const MethodInfo*>& all() const { return methods_; }
+
+  /// Returns nullptr when no method has that qualified name.
+  const MethodInfo* find(const std::string& qualified_name) const;
+
+ private:
+  std::vector<const MethodInfo*> methods_;
+};
+
+}  // namespace fatomic::weave

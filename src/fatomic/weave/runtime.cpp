@@ -1,0 +1,33 @@
+#include "fatomic/weave/runtime.hpp"
+
+#include "fatomic/common/error.hpp"
+
+namespace fatomic::weave {
+
+Runtime::Runtime() {
+  runtime_exceptions_.push_back(ExceptionSpec{
+      "fatomic::InjectedRuntimeError", [] { throw InjectedRuntimeError(); }});
+}
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  return rt;
+}
+
+void Runtime::begin_run(std::uint64_t threshold) {
+  point = 0;
+  injection_point = threshold;
+  injected = false;
+  injected_method = nullptr;
+  injected_exception.clear();
+  depth = 0;
+  marks.clear();
+}
+
+ScopedMode::ScopedMode(Mode m) : saved_(Runtime::instance().mode()) {
+  Runtime::instance().set_mode(m);
+}
+
+ScopedMode::~ScopedMode() { Runtime::instance().set_mode(saved_); }
+
+}  // namespace fatomic::weave

@@ -1,0 +1,137 @@
+// The weaving runtime: global mode switch, injection-point counter, marks of
+// the current run, call counting and the masking wrap predicate.
+//
+// The paper builds two distinct programs — an exception injector P_I and a
+// corrected program P_C (Figure 1).  Our load-time substitute keeps a single
+// instrumented program whose wrappers select their behaviour from the active
+// Mode, which yields the same wrapper nesting and observable semantics as
+// the paper's woven variants (DESIGN.md, substitution table).
+//
+// The runtime is deliberately single-threaded: the paper's system "does not
+// explicitly deal with concurrent accesses in multi-threaded programs"
+// (Section 4.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fatomic/weave/method_info.hpp"
+
+namespace fatomic::weave {
+
+enum class Mode : std::uint8_t {
+  Direct,      ///< call through, no instrumentation (original program P)
+  Count,       ///< count calls per method (baseline for Figures 2b/3b)
+  Inject,      ///< exception injector program P_I (Listing 1)
+  Mask,        ///< corrected program P_C (Listing 2)
+  InjectMask,  ///< P_C under re-injection: verifies masking removed all
+               ///< non-atomic behaviour
+};
+
+/// One atomicity observation made by an injection wrapper when an exception
+/// passed through it (Listing 1, lines 10-14).  Marks are appended in
+/// exception-propagation order, i.e. callee before caller — the property the
+/// pure/conditional classification relies on (Definition 3).
+struct Mark {
+  const MethodInfo* method;
+  bool atomic;
+  std::uint64_t injection_point;
+  /// Wrapper nesting depth at which the mark was recorded.  Within one
+  /// exception-propagation episode depths strictly decrease (callee to
+  /// caller); a mark at a depth >= its predecessor's starts a new episode.
+  /// The classifier uses this to apply the "first marked" rule per episode,
+  /// so an unrelated earlier exception in the same run cannot demote a pure
+  /// failure non-atomic method to conditional.
+  int depth;
+  /// One-line description of the first object-graph difference (only for
+  /// non-atomic marks, and only when Runtime::record_diffs is set).
+  std::string detail;
+};
+
+struct RuntimeStats {
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t wrapped_calls = 0;
+};
+
+class Runtime {
+ public:
+  static Runtime& instance();
+
+  // --- mode ---------------------------------------------------------------
+  Mode mode() const { return mode_; }
+  void set_mode(Mode m) { mode_ = m; }
+
+  // --- injection state (Listing 1) ----------------------------------------
+  std::uint64_t point = 0;            ///< global counter `Point`
+  std::uint64_t injection_point = 0;  ///< run threshold `InjectionPoint`
+  bool injected = false;              ///< did this run fire an injection?
+  const MethodInfo* injected_method = nullptr;
+  std::string injected_exception;
+  int depth = 0;  ///< current injection-wrapper nesting depth
+  /// When set, non-atomic marks carry a one-line graph-diff explanation
+  /// (costs one diff per intercepted exception; off by default).
+  bool record_diffs = false;
+
+  /// Generic runtime exceptions appended to every method's declared list
+  /// (the paper's E_{k+1}..E_n).  Defaults to one InjectedRuntimeError.
+  std::vector<ExceptionSpec>& runtime_exceptions() {
+    return runtime_exceptions_;
+  }
+
+  /// Resets per-run state and arms the next injection threshold.
+  void begin_run(std::uint64_t threshold);
+
+  // --- per-run observations -------------------------------------------------
+  std::vector<Mark> marks;
+
+  // --- call counting ---------------------------------------------------------
+  std::unordered_map<const MethodInfo*, std::uint64_t> call_counts;
+  /// Dynamic call-graph edges observed in Count mode: (caller, callee) with
+  /// call counts; nullptr caller means "called from the program top level".
+  std::map<std::pair<const MethodInfo*, const MethodInfo*>, std::uint64_t>
+      call_edges;
+  /// Stack of active instrumented methods (Count mode only).
+  std::vector<const MethodInfo*> call_stack;
+  void reset_counts() {
+    call_counts.clear();
+    call_edges.clear();
+    call_stack.clear();
+  }
+
+  // --- masking -----------------------------------------------------------------
+  /// Predicate selecting the methods whose calls are replaced by atomicity
+  /// wrappers (Figure 1, step 5).  Null means "wrap nothing".
+  using WrapPredicate = std::function<bool(const MethodInfo&)>;
+  void set_wrap_predicate(WrapPredicate p) { wrap_ = std::move(p); }
+  bool should_wrap(const MethodInfo& mi) const { return wrap_ && wrap_(mi); }
+
+  RuntimeStats stats;
+
+ private:
+  Mode mode_ = Mode::Direct;
+  std::vector<ExceptionSpec> runtime_exceptions_;
+  WrapPredicate wrap_;
+  Runtime();
+};
+
+/// RAII helper that saves and restores the full runtime configuration —
+/// keeps experiments from leaking mode/predicate changes into each other.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m);
+  ~ScopedMode();
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode saved_;
+};
+
+}  // namespace fatomic::weave

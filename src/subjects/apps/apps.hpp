@@ -1,0 +1,48 @@
+// The named subject applications of the paper's evaluation (Table 1):
+// six C++/Self* applications and ten Java-suite applications, each exposed
+// as a deterministic, self-contained workload function suitable for the
+// injection campaign (every run constructs fresh objects).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace subjects::apps {
+
+struct App {
+  std::string name;
+  std::string language;  ///< "C++" or "Java" — which suite it belongs to
+  std::function<void()> program;
+};
+
+/// All applications, in the paper's Table 1 order.
+const std::vector<App>& all_apps();
+
+/// Applications of one suite ("C++" or "Java").
+std::vector<App> apps_of(const std::string& language);
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+const App& app(const std::string& name);
+
+// Individual workloads (also used directly by tests/examples).
+void run_adaptor_chain();
+void run_std_q();
+void run_xml2ctcp();
+void run_xml2cviasc1();
+void run_xml2cviasc2();
+void run_xml2xml1();
+
+void run_circular_list();
+void run_dynarray();
+void run_hashed_map();
+void run_hashed_set();
+void run_ll_map();
+void run_linked_buffer();
+void run_linked_list();
+void run_linked_list_fixed();  ///< the case-study repaired variant (§6.1)
+void run_rb_map();
+void run_rb_tree();
+void run_regexp();
+
+}  // namespace subjects::apps

@@ -1,0 +1,226 @@
+#include "subjects/collections/circular_list.hpp"
+
+namespace subjects::collections {
+
+// ---- uninstrumented internals ----------------------------------------------
+
+CNode* CircularList::node_at(int i) const {
+  CNode* cur = head_;
+  for (int k = 0; k < i; ++k) cur = cur->next;
+  return cur;
+}
+
+void CircularList::link_before(CNode* pos, CNode* n) {
+  n->next = pos;
+  n->prev = pos->prev;
+  pos->prev->next = n;
+  pos->prev = n;
+}
+
+int CircularList::unlink(CNode* n) {
+  const int v = n->value;
+  if (size_ == 1) {
+    head_ = nullptr;
+  } else {
+    n->prev->next = n->next;
+    n->next->prev = n->prev;
+    if (n == head_) head_ = n->next;
+  }
+  delete n;
+  --size_;
+  return v;
+}
+
+void CircularList::free_all() {
+  if (head_ == nullptr) return;
+  CNode* cur = head_->next;
+  while (cur != head_) {
+    CNode* next = cur->next;
+    delete cur;
+    cur = next;
+  }
+  delete head_;
+  head_ = nullptr;
+  size_ = 0;
+}
+
+// ---- instrumented API -------------------------------------------------------
+
+int CircularList::front() {
+  return FAT_INVOKE(front, [&] {
+    if (empty()) throw EmptyError();
+    return head_->value;
+  });
+}
+
+int CircularList::back() {
+  return FAT_INVOKE(back, [&] {
+    if (empty()) throw EmptyError();
+    return head_->prev->value;
+  });
+}
+
+void CircularList::push_front(int v) {
+  FAT_INVOKE(push_front, [&] {
+    auto* n = new CNode{v, nullptr, nullptr};
+    if (head_ == nullptr) {
+      n->next = n;
+      n->prev = n;
+      head_ = n;
+    } else {
+      link_before(head_, n);
+      head_ = n;
+    }
+    ++size_;
+  });
+}
+
+void CircularList::push_back(int v) {
+  FAT_INVOKE(push_back, [&] {
+    auto* n = new CNode{v, nullptr, nullptr};
+    if (head_ == nullptr) {
+      n->next = n;
+      n->prev = n;
+      head_ = n;
+    } else {
+      link_before(head_, n);
+    }
+    ++size_;
+  });
+}
+
+int CircularList::pop_front() {
+  return FAT_INVOKE(pop_front, [&] {
+    if (empty()) throw EmptyError();
+    return unlink(head_);
+  });
+}
+
+int CircularList::pop_back() {
+  return FAT_INVOKE(pop_back, [&] {
+    if (empty()) throw EmptyError();
+    return unlink(head_->prev);
+  });
+}
+
+int CircularList::at(int i) {
+  return FAT_INVOKE(at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    return node_at(i)->value;
+  });
+}
+
+void CircularList::set_at(int i, int v) {
+  FAT_INVOKE(set_at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    node_at(i)->value = v;
+  });
+}
+
+void CircularList::insert_at(int i, int v) {
+  FAT_INVOKE(insert_at, [&] {
+    if (i < 0 || i > size_) throw IndexError();
+    if (i == 0) {
+      push_front(v);
+    } else if (i == size_) {
+      push_back(v);
+    } else {
+      link_before(node_at(i), new CNode{v, nullptr, nullptr});
+      ++size_;
+    }
+  });
+}
+
+int CircularList::remove_at(int i) {
+  return FAT_INVOKE(remove_at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    return unlink(node_at(i));
+  });
+}
+
+bool CircularList::contains(int v) {
+  return FAT_INVOKE(contains, [&] { return index_of(v) >= 0; });
+}
+
+int CircularList::index_of(int v) {
+  return FAT_INVOKE(index_of, [&] {
+    CNode* cur = head_;
+    for (int i = 0; i < size_; ++i, cur = cur->next)
+      if (cur->value == v) return i;
+    return -1;
+  });
+}
+
+void CircularList::rotate(int k) {
+  FAT_INVOKE(rotate, [&] {
+    if (size_ == 0) return;
+    // Legacy implementation: repeated pop/push.  A failure mid-way leaves
+    // the list partially rotated (pure failure non-atomic).
+    for (int step = 0; step < k % size_; ++step) push_back(pop_front());
+  });
+}
+
+bool CircularList::rotate_to(int v) {
+  return FAT_INVOKE(rotate_to, [&] {
+    const int i = index_of(v);
+    if (i < 0) return false;
+    if (i > 0) rotate(i);  // all mutation happens in the callee
+    return true;
+  });
+}
+
+void CircularList::reverse() {
+  FAT_INVOKE(reverse, [&] {
+    if (size_ < 2) return;
+    CNode* cur = head_;
+    for (int i = 0; i < size_; ++i) {
+      CNode* next = cur->next;
+      cur->next = cur->prev;
+      cur->prev = next;
+      cur = next;
+    }
+    head_ = head_->next;
+  });
+}
+
+void CircularList::clear() {
+  FAT_INVOKE(clear, [&] { free_all(); });
+}
+
+std::vector<int> CircularList::to_vector() {
+  return FAT_INVOKE(to_vector, [&] {
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(size_));
+    CNode* cur = head_;
+    for (int i = 0; i < size_; ++i, cur = cur->next) out.push_back(cur->value);
+    return out;
+  });
+}
+
+void CircularList::append_all(const std::vector<int>& vs) {
+  FAT_INVOKE(append_all, [&] {
+    for (int v : vs) push_back(v);  // partial progress on failure
+  });
+}
+
+int CircularList::remove_all(int v) {
+  return FAT_INVOKE(remove_all, [&] {
+    int removed = 0;
+    int i = index_of(v);
+    while (i >= 0) {
+      remove_at(i);  // each step fallible: partial removal on failure
+      ++removed;
+      i = index_of(v);
+    }
+    return removed;
+  });
+}
+
+void CircularList::splice_front(CircularList& other) {
+  FAT_INVOKE_ARGS(splice_front, std::tie(other), [&] {
+    // Mutates both lists element by element (destructive legacy splice).
+    while (!other.empty()) push_front(other.pop_back());
+  });
+}
+
+}  // namespace subjects::collections

@@ -1,0 +1,130 @@
+// CircularList — a circular doubly-linked list of ints (port of the Java
+// collections subject of the same name).
+//
+// Memory model: `next` edges are owned raw pointers forming the cycle; the
+// list destructor frees nodes iteratively and CNode's destructor does not
+// cascade (the restore conventions for cyclic owned structures).  `prev`
+// edges are non-owned aliases.
+//
+// Deliberate legacy bug patterns (subjects mirror the paper's finding that
+// legacy container code has a substantial share of non-atomic mutators):
+//  - append_all / remove_all / rotate make partial progress through
+//    fallible steps (pure failure non-atomic);
+//  - splice_front mutates before its last fallible call.
+#pragma once
+
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/collections/common.hpp"
+
+namespace subjects::collections {
+
+struct CNode {
+  int value = 0;
+  CNode* next = nullptr;  // owned (cycle)
+  CNode* prev = nullptr;  // alias
+};
+
+class CircularList {
+ public:
+  CircularList() { FAT_CTOR_ENTRY(); }
+  ~CircularList() { free_all(); }
+  CircularList(const CircularList&) = delete;
+  CircularList& operator=(const CircularList&) = delete;
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// First element; throws EmptyError on an empty list.
+  int front();
+  /// Last element; throws EmptyError on an empty list.
+  int back();
+  void push_front(int v);
+  void push_back(int v);
+  /// Removes and returns the first element; throws EmptyError when empty.
+  int pop_front();
+  /// Removes and returns the last element; throws EmptyError when empty.
+  int pop_back();
+  /// Element at position i; throws IndexError when out of range.
+  int at(int i);
+  /// Overwrites position i; throws IndexError when out of range.
+  void set_at(int i, int v);
+  /// Inserts before position i (i == size appends); throws IndexError.
+  void insert_at(int i, int v);
+  /// Removes position i and returns it; throws IndexError.
+  int remove_at(int i);
+  bool contains(int v);
+  /// Index of the first occurrence, or -1.
+  int index_of(int v);
+  /// Rotates k positions: the (k mod size)-th element becomes the front.
+  /// Implemented, legacy-style, as repeated pop/push (partial on failure).
+  void rotate(int k);
+  /// Rotates v to the front if present; non-atomic only through rotate()
+  /// (conditional).
+  bool rotate_to(int v);
+  /// Reverses in place.
+  void reverse();
+  void clear();
+  std::vector<int> to_vector();
+  /// Appends every element of vs (partial on mid-loop failure).
+  void append_all(const std::vector<int>& vs);
+  /// Removes every occurrence of v; returns the number removed.
+  int remove_all(int v);
+  /// Moves all elements of `other` to the front of this list (destructive
+  /// on both; partial on failure).
+  void splice_front(CircularList& other);
+
+ private:
+  FAT_REFLECT_FRIEND(CircularList);
+  FAT_CTOR_INFO(subjects::collections::CircularList);
+  FAT_METHOD_INFO(subjects::collections::CircularList, front,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::CircularList, back,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::CircularList, push_front);
+  FAT_METHOD_INFO(subjects::collections::CircularList, push_back);
+  FAT_METHOD_INFO(subjects::collections::CircularList, pop_front,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::CircularList, pop_back,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::CircularList, at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::CircularList, set_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::CircularList, insert_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::CircularList, remove_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::CircularList, contains);
+  FAT_METHOD_INFO(subjects::collections::CircularList, index_of);
+  FAT_METHOD_INFO(subjects::collections::CircularList, rotate);
+  FAT_METHOD_INFO(subjects::collections::CircularList, rotate_to);
+  FAT_METHOD_INFO(subjects::collections::CircularList, reverse);
+  FAT_METHOD_INFO(subjects::collections::CircularList, clear);
+  FAT_METHOD_INFO(subjects::collections::CircularList, to_vector);
+  FAT_METHOD_INFO(subjects::collections::CircularList, append_all);
+  FAT_METHOD_INFO(subjects::collections::CircularList, remove_all);
+  FAT_METHOD_INFO(subjects::collections::CircularList, splice_front);
+
+  // Uninstrumented internals.
+  CNode* node_at(int i) const;
+  void link_before(CNode* pos, CNode* n);
+  int unlink(CNode* n);
+  void free_all();
+
+  CNode* head_ = nullptr;  // owned entry into the cycle
+  int size_ = 0;
+};
+
+}  // namespace subjects::collections
+
+FAT_REFLECT(subjects::collections::CNode,
+            FAT_FIELD(subjects::collections::CNode, value),
+            FAT_OWNED(subjects::collections::CNode, next),
+            FAT_FIELD(subjects::collections::CNode, prev));
+
+FAT_REFLECT(subjects::collections::CircularList,
+            FAT_OWNED(subjects::collections::CircularList, head_),
+            FAT_FIELD(subjects::collections::CircularList, size_));

@@ -1,0 +1,34 @@
+// Shared exception types for the collections subjects — the C++ ports of the
+// Java collection library the paper evaluates (Table 1, lower half).  All
+// collection methods may additionally raise the generic runtime exception
+// injected by the engine.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace subjects::collections {
+
+class CollectionError : public std::runtime_error {
+ public:
+  CollectionError() : std::runtime_error("collection error") {}
+  explicit CollectionError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class IndexError : public CollectionError {
+ public:
+  IndexError() : CollectionError("index out of range") {}
+};
+
+class KeyError : public CollectionError {
+ public:
+  KeyError() : CollectionError("key not found") {}
+};
+
+class EmptyError : public CollectionError {
+ public:
+  EmptyError() : CollectionError("collection is empty") {}
+};
+
+}  // namespace subjects::collections

@@ -1,0 +1,125 @@
+#include "subjects/collections/dynarray.hpp"
+
+namespace subjects::collections {
+
+void Dynarray::grow(int at_least) {
+  FAT_INVOKE(grow, [&] {
+    int cap = capacity() == 0 ? 4 : capacity();
+    while (cap < at_least) cap *= 2;
+    data_.resize(static_cast<std::size_t>(cap));
+  });
+}
+
+int Dynarray::at(int i) {
+  return FAT_INVOKE(at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    return data_[static_cast<std::size_t>(i)];
+  });
+}
+
+void Dynarray::set(int i, int v) {
+  FAT_INVOKE(set, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    data_[static_cast<std::size_t>(i)] = v;
+  });
+}
+
+void Dynarray::push_back(int v) {
+  FAT_INVOKE(push_back, [&] {
+    if (size_ == capacity()) grow(size_ + 1);  // fallible step first: atomic
+    data_[static_cast<std::size_t>(size_)] = v;
+    ++size_;
+  });
+}
+
+int Dynarray::pop_back() {
+  return FAT_INVOKE(pop_back, [&] {
+    if (size_ == 0) throw EmptyError();
+    --size_;
+    return data_[static_cast<std::size_t>(size_)];
+  });
+}
+
+void Dynarray::insert_at(int i, int v) {
+  FAT_INVOKE(insert_at, [&] {
+    if (i < 0 || i > size_) throw IndexError();
+    if (size_ == capacity()) grow(size_ + 1);
+    for (int k = size_; k > i; --k)
+      data_[static_cast<std::size_t>(k)] = data_[static_cast<std::size_t>(k - 1)];
+    data_[static_cast<std::size_t>(i)] = v;
+    ++size_;
+  });
+}
+
+int Dynarray::remove_at(int i) {
+  return FAT_INVOKE(remove_at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    const int v = data_[static_cast<std::size_t>(i)];
+    for (int k = i; k < size_ - 1; ++k)
+      data_[static_cast<std::size_t>(k)] = data_[static_cast<std::size_t>(k + 1)];
+    --size_;
+    return v;
+  });
+}
+
+int Dynarray::index_of(int v) {
+  return FAT_INVOKE(index_of, [&] {
+    for (int i = 0; i < size_; ++i)
+      if (data_[static_cast<std::size_t>(i)] == v) return i;
+    return -1;
+  });
+}
+
+bool Dynarray::contains(int v) {
+  return FAT_INVOKE(contains, [&] { return index_of(v) >= 0; });
+}
+
+void Dynarray::clear() {
+  FAT_INVOKE(clear, [&] {
+    data_.clear();
+    size_ = 0;
+  });
+}
+
+void Dynarray::reserve(int n) {
+  FAT_INVOKE(reserve, [&] {
+    if (n > capacity()) grow(n);
+  });
+}
+
+void Dynarray::resize(int n, int fill) {
+  FAT_INVOKE(resize, [&] {
+    while (size_ > n) pop_back();
+    while (size_ < n) push_back(fill);  // partial progress on failure
+  });
+}
+
+void Dynarray::append_all(const std::vector<int>& vs) {
+  FAT_INVOKE(append_all, [&] {
+    for (int v : vs) push_back(v);  // partial progress on failure
+  });
+}
+
+void Dynarray::extend_with(const std::vector<int>& vs) {
+  FAT_INVOKE(extend_with, [&] {
+    if (!vs.empty()) append_all(vs);  // all mutation happens in the callee
+  });
+}
+
+void Dynarray::take_from(Dynarray& other) {
+  FAT_INVOKE_ARGS(take_from, std::tie(other), [&] {
+    while (!other.empty()) push_back(other.pop_back());
+  });
+}
+
+std::vector<int> Dynarray::to_vector() {
+  return FAT_INVOKE(to_vector, [&] {
+    return std::vector<int>(data_.begin(), data_.begin() + size_);
+  });
+}
+
+void Dynarray::trim() {
+  FAT_INVOKE(trim, [&] { data_.resize(static_cast<std::size_t>(size_)); });
+}
+
+}  // namespace subjects::collections

@@ -1,0 +1,95 @@
+// Dynarray — a growable array of ints with explicit capacity management
+// (port of the Java collections subject of the same name).
+//
+// grow() is an instrumented (hence fallible) internal step, as allocation is
+// in the Java original; methods that mutate before calling it are failure
+// non-atomic, methods that call it first are atomic.
+#pragma once
+
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/collections/common.hpp"
+
+namespace subjects::collections {
+
+class Dynarray {
+ public:
+  Dynarray() { FAT_CTOR_ENTRY(); }
+
+  int size() const { return size_; }
+  int capacity() const { return static_cast<int>(data_.size()); }
+  bool empty() const { return size_ == 0; }
+
+  /// Element at i; throws IndexError.
+  int at(int i);
+  /// Overwrites position i; throws IndexError.
+  void set(int i, int v);
+  /// Appends v, growing first if needed (atomic: grow precedes mutation).
+  void push_back(int v);
+  /// Removes and returns the last element; throws EmptyError.
+  int pop_back();
+  /// Inserts at position i, shifting the tail right; throws IndexError.
+  void insert_at(int i, int v);
+  /// Removes position i, shifting the tail left; throws IndexError.
+  int remove_at(int i);
+  int index_of(int v);
+  bool contains(int v);
+  void clear();
+  /// Grows the backing store to at least n slots.
+  void reserve(int n);
+  /// Sets the logical size, appending `fill` as needed (legacy loop:
+  /// partial progress on failure).
+  void resize(int n, int fill);
+  /// Appends all of vs (partial progress on failure).
+  void append_all(const std::vector<int>& vs);
+  /// Appends vs unless empty; non-atomic only through append_all()
+  /// (conditional).
+  void extend_with(const std::vector<int>& vs);
+  /// Moves every element out of `other` into this (destructive on both,
+  /// partial progress on failure).
+  void take_from(Dynarray& other);
+  std::vector<int> to_vector();
+  /// Trims capacity to size.
+  void trim();
+
+ private:
+  FAT_REFLECT_FRIEND(Dynarray);
+  FAT_CTOR_INFO(subjects::collections::Dynarray);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::Dynarray, set,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::Dynarray, push_back);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, pop_back,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::Dynarray, insert_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::Dynarray, remove_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::Dynarray, index_of);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, contains);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, clear);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, reserve);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, resize);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, append_all);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, extend_with);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, take_from,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::Dynarray, to_vector);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, trim);
+  FAT_METHOD_INFO(subjects::collections::Dynarray, grow);
+
+  /// Instrumented internal growth step (the fallible "allocation").
+  void grow(int at_least);
+
+  std::vector<int> data_;
+  int size_ = 0;
+};
+
+}  // namespace subjects::collections
+
+FAT_REFLECT(subjects::collections::Dynarray,
+            FAT_FIELD(subjects::collections::Dynarray, data_),
+            FAT_FIELD(subjects::collections::Dynarray, size_));

@@ -1,0 +1,138 @@
+#include "subjects/collections/hashed_map.hpp"
+
+#include <functional>
+
+namespace subjects::collections {
+
+std::size_t HashedMap::bucket_of(const std::string& key) const {
+  return std::hash<std::string>{}(key) % buckets_.size();
+}
+
+MEntry* HashedMap::find_entry(const std::string& key) const {
+  for (MEntry* e = buckets_[bucket_of(key)].get(); e != nullptr;
+       e = e->next.get())
+    if (e->key == key) return e;
+  return nullptr;
+}
+
+bool HashedMap::put(const std::string& key, int value) {
+  return FAT_INVOKE(put, [&] {
+    if (MEntry* e = find_entry(key)) {
+      e->value = value;
+      return false;
+    }
+    ++size_;       // BUG: counter bumped before the fallible step below
+    ensure_load(); // may throw (injected) leaving size_ inconsistent
+    auto& head = buckets_[bucket_of(key)];
+    auto entry = std::make_unique<MEntry>();
+    entry->key = key;
+    entry->value = value;
+    entry->next = std::move(head);
+    head = std::move(entry);
+    return true;
+  });
+}
+
+bool HashedMap::put_if_absent(const std::string& key, int value) {
+  return FAT_INVOKE(put_if_absent, [&] {
+    if (contains_key(key)) return false;
+    put(key, value);  // all mutation happens in the (non-atomic) callee
+    return true;
+  });
+}
+
+int HashedMap::get(const std::string& key) {
+  return FAT_INVOKE(get, [&] {
+    MEntry* e = find_entry(key);
+    if (e == nullptr) throw KeyError();
+    return e->value;
+  });
+}
+
+int HashedMap::get_or(const std::string& key, int fallback) {
+  return FAT_INVOKE(get_or, [&] {
+    MEntry* e = find_entry(key);
+    return e == nullptr ? fallback : e->value;
+  });
+}
+
+bool HashedMap::contains_key(const std::string& key) {
+  return FAT_INVOKE(contains_key,
+                    [&] { return find_entry(key) != nullptr; });
+}
+
+int HashedMap::remove(const std::string& key) {
+  return FAT_INVOKE(remove, [&] {
+    std::unique_ptr<MEntry>* slot = &buckets_[bucket_of(key)];
+    while (*slot != nullptr) {
+      if ((*slot)->key == key) {
+        const int v = (*slot)->value;
+        *slot = std::move((*slot)->next);
+        --size_;
+        return v;
+      }
+      slot = &(*slot)->next;
+    }
+    throw KeyError();
+  });
+}
+
+void HashedMap::clear() {
+  FAT_INVOKE(clear, [&] {
+    buckets_.clear();
+    buckets_.resize(8);
+    size_ = 0;
+  });
+}
+
+std::vector<std::string> HashedMap::keys() {
+  return FAT_INVOKE(keys, [&] {
+    std::vector<std::string> out;
+    for (const auto& head : buckets_)
+      for (MEntry* e = head.get(); e != nullptr; e = e->next.get())
+        out.push_back(e->key);
+    return out;
+  });
+}
+
+std::vector<int> HashedMap::values() {
+  return FAT_INVOKE(values, [&] {
+    std::vector<int> out;
+    for (const auto& head : buckets_)
+      for (MEntry* e = head.get(); e != nullptr; e = e->next.get())
+        out.push_back(e->value);
+    return out;
+  });
+}
+
+void HashedMap::put_all(HashedMap& other) {
+  FAT_INVOKE(put_all, [&] {
+    for (const std::string& k : other.keys())
+      put(k, other.get(k));  // partial progress on failure
+  });
+}
+
+void HashedMap::ensure_load() {
+  FAT_INVOKE(ensure_load, [&] {
+    if (4 * size_ > 3 * bucket_count()) rehash(2 * bucket_count());
+  });
+}
+
+void HashedMap::rehash(int n) {
+  FAT_INVOKE(rehash, [&] {
+    std::vector<std::unique_ptr<MEntry>> old = std::move(buckets_);
+    buckets_.clear();
+    buckets_.resize(static_cast<std::size_t>(n));
+    for (auto& head : old) {
+      while (head != nullptr) {
+        std::unique_ptr<MEntry> e = std::move(head);
+        head = std::move(e->next);
+        auto& slot = buckets_[bucket_of(e->key)];
+        e->next = std::move(slot);
+        slot = std::move(e);
+      }
+    }
+  });
+}
+
+}  // namespace subjects::collections

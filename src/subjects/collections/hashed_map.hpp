@@ -1,0 +1,91 @@
+// HashedMap — separate-chaining hash map from string keys to int values
+// (port of the Java collections subject of the same name).
+//
+// Bucket heads are unique_ptrs; chain entries own their successor (MEntry
+// destruction cascades, per the restore conventions for smart-pointer-held
+// subtrees).
+//
+// Legacy bug pattern: put() bumps size_ *before* the fallible ensure_load()
+// step — the textbook non-atomic mutator the paper's tool is built to find.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/collections/common.hpp"
+
+namespace subjects::collections {
+
+struct MEntry {
+  std::string key;
+  int value = 0;
+  std::unique_ptr<MEntry> next;
+};
+
+class HashedMap {
+ public:
+  HashedMap() { FAT_CTOR_ENTRY(); }
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+
+  /// Inserts or overwrites; returns true when the key was new.
+  bool put(const std::string& key, int value);
+  /// Inserts only when absent; non-atomic only through put() (conditional).
+  bool put_if_absent(const std::string& key, int value);
+  /// Value for key; throws KeyError when absent.
+  int get(const std::string& key);
+  /// Value for key or `fallback` when absent.
+  int get_or(const std::string& key, int fallback);
+  bool contains_key(const std::string& key);
+  /// Removes key and returns its value; throws KeyError when absent.
+  int remove(const std::string& key);
+  void clear();
+  std::vector<std::string> keys();
+  std::vector<int> values();
+  /// Copies every entry of `other` into this map (partial on failure).
+  void put_all(HashedMap& other);
+  /// Grows the table when the load factor exceeds 0.75 (fallible step).
+  void ensure_load();
+  /// Re-buckets every entry into a table of `n` buckets.
+  void rehash(int n);
+
+ private:
+  FAT_REFLECT_FRIEND(HashedMap);
+  FAT_CTOR_INFO(subjects::collections::HashedMap);
+  FAT_METHOD_INFO(subjects::collections::HashedMap, put);
+  FAT_METHOD_INFO(subjects::collections::HashedMap, put_if_absent);
+  FAT_METHOD_INFO(subjects::collections::HashedMap, get,
+                  FAT_THROWS(subjects::collections::KeyError));
+  FAT_METHOD_INFO(subjects::collections::HashedMap, get_or);
+  FAT_METHOD_INFO(subjects::collections::HashedMap, contains_key);
+  FAT_METHOD_INFO(subjects::collections::HashedMap, remove,
+                  FAT_THROWS(subjects::collections::KeyError));
+  FAT_METHOD_INFO(subjects::collections::HashedMap, clear);
+  FAT_METHOD_INFO(subjects::collections::HashedMap, keys);
+  FAT_METHOD_INFO(subjects::collections::HashedMap, values);
+  FAT_METHOD_INFO(subjects::collections::HashedMap, put_all);
+  FAT_METHOD_INFO(subjects::collections::HashedMap, ensure_load);
+  FAT_METHOD_INFO(subjects::collections::HashedMap, rehash);
+
+  std::size_t bucket_of(const std::string& key) const;
+  MEntry* find_entry(const std::string& key) const;
+
+  std::vector<std::unique_ptr<MEntry>> buckets_{8};
+  int size_ = 0;
+};
+
+}  // namespace subjects::collections
+
+FAT_REFLECT(subjects::collections::MEntry,
+            FAT_FIELD(subjects::collections::MEntry, key),
+            FAT_FIELD(subjects::collections::MEntry, value),
+            FAT_FIELD(subjects::collections::MEntry, next));
+
+FAT_REFLECT(subjects::collections::HashedMap,
+            FAT_FIELD(subjects::collections::HashedMap, buckets_),
+            FAT_FIELD(subjects::collections::HashedMap, size_));

@@ -1,0 +1,115 @@
+#include "subjects/collections/hashed_set.hpp"
+
+#include <functional>
+
+namespace subjects::collections {
+
+std::size_t HashedSet::bucket_of(int v) const {
+  return std::hash<int>{}(v) % buckets_.size();
+}
+
+bool HashedSet::add(int v) {
+  return FAT_INVOKE(add, [&] {
+    if (contains(v)) return false;
+    ++size_;        // BUG: counter bumped before the fallible step below
+    ensure_load();  // may throw (injected) leaving size_ inconsistent
+    auto& head = buckets_[bucket_of(v)];
+    auto e = std::make_unique<SEntry>();
+    e->value = v;
+    e->next = std::move(head);
+    head = std::move(e);
+    return true;
+  });
+}
+
+void HashedSet::ensure(int v) {
+  FAT_INVOKE(ensure, [&] {
+    if (!contains(v)) add(v);  // all mutation happens in the callee
+  });
+}
+
+bool HashedSet::contains(int v) {
+  return FAT_INVOKE(contains, [&] {
+    for (SEntry* e = buckets_[bucket_of(v)].get(); e != nullptr;
+         e = e->next.get())
+      if (e->value == v) return true;
+    return false;
+  });
+}
+
+bool HashedSet::remove(int v) {
+  return FAT_INVOKE(remove, [&] {
+    std::unique_ptr<SEntry>* slot = &buckets_[bucket_of(v)];
+    while (*slot != nullptr) {
+      if ((*slot)->value == v) {
+        *slot = std::move((*slot)->next);
+        --size_;
+        return true;
+      }
+      slot = &(*slot)->next;
+    }
+    return false;
+  });
+}
+
+void HashedSet::clear() {
+  FAT_INVOKE(clear, [&] {
+    buckets_.clear();
+    buckets_.resize(8);
+    size_ = 0;
+  });
+}
+
+std::vector<int> HashedSet::to_vector() {
+  return FAT_INVOKE(to_vector, [&] {
+    std::vector<int> out;
+    for (const auto& head : buckets_)
+      for (SEntry* e = head.get(); e != nullptr; e = e->next.get())
+        out.push_back(e->value);
+    return out;
+  });
+}
+
+void HashedSet::add_all(const std::vector<int>& vs) {
+  FAT_INVOKE(add_all, [&] {
+    for (int v : vs) add(v);  // partial progress on failure
+  });
+}
+
+void HashedSet::intersect(HashedSet& other) {
+  FAT_INVOKE(intersect, [&] {
+    for (int v : to_vector())
+      if (!other.contains(v)) remove(v);  // partial progress on failure
+  });
+}
+
+void HashedSet::union_with(HashedSet& other) {
+  FAT_INVOKE(union_with, [&] {
+    for (int v : other.to_vector()) add(v);  // partial progress on failure
+  });
+}
+
+void HashedSet::ensure_load() {
+  FAT_INVOKE(ensure_load, [&] {
+    if (4 * size_ > 3 * bucket_count()) rehash(2 * bucket_count());
+  });
+}
+
+void HashedSet::rehash(int n) {
+  FAT_INVOKE(rehash, [&] {
+    std::vector<std::unique_ptr<SEntry>> old = std::move(buckets_);
+    buckets_.clear();
+    buckets_.resize(static_cast<std::size_t>(n));
+    for (auto& head : old) {
+      while (head != nullptr) {
+        std::unique_ptr<SEntry> e = std::move(head);
+        head = std::move(e->next);
+        auto& slot = buckets_[bucket_of(e->value)];
+        e->next = std::move(slot);
+        slot = std::move(e);
+      }
+    }
+  });
+}
+
+}  // namespace subjects::collections

@@ -1,0 +1,76 @@
+// HashedSet — separate-chaining hash set of ints (port of the Java
+// collections subject of the same name).  Same bucket memory model and the
+// same size-before-rehash legacy bug as HashedMap.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/collections/common.hpp"
+
+namespace subjects::collections {
+
+struct SEntry {
+  int value = 0;
+  std::unique_ptr<SEntry> next;
+};
+
+class HashedSet {
+ public:
+  HashedSet() { FAT_CTOR_ENTRY(); }
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+
+  /// Adds v; returns true when v was not present.
+  bool add(int v);
+  /// Guarantees membership; non-atomic only through add() (conditional).
+  void ensure(int v);
+  bool contains(int v);
+  /// Removes v; returns true when v was present.
+  bool remove(int v);
+  void clear();
+  std::vector<int> to_vector();
+  /// Adds every element (partial progress on failure).
+  void add_all(const std::vector<int>& vs);
+  /// Removes every element of this set not present in `other` (partial
+  /// progress on failure).
+  void intersect(HashedSet& other);
+  /// Adds every element of `other` (partial progress on failure).
+  void union_with(HashedSet& other);
+  void ensure_load();
+  void rehash(int n);
+
+ private:
+  FAT_REFLECT_FRIEND(HashedSet);
+  FAT_CTOR_INFO(subjects::collections::HashedSet);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, add);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, ensure);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, contains);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, remove);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, clear);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, to_vector);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, add_all);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, intersect);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, union_with);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, ensure_load);
+  FAT_METHOD_INFO(subjects::collections::HashedSet, rehash);
+
+  std::size_t bucket_of(int v) const;
+
+  std::vector<std::unique_ptr<SEntry>> buckets_{8};
+  int size_ = 0;
+};
+
+}  // namespace subjects::collections
+
+FAT_REFLECT(subjects::collections::SEntry,
+            FAT_FIELD(subjects::collections::SEntry, value),
+            FAT_FIELD(subjects::collections::SEntry, next));
+
+FAT_REFLECT(subjects::collections::HashedSet,
+            FAT_FIELD(subjects::collections::HashedSet, buckets_),
+            FAT_FIELD(subjects::collections::HashedSet, size_));

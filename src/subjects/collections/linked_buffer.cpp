@@ -1,0 +1,94 @@
+#include "subjects/collections/linked_buffer.hpp"
+
+namespace subjects::collections {
+
+void LinkedBuffer::append(const std::string& s) {
+  FAT_INVOKE(append, [&] {
+    for (std::size_t off = 0; off < s.size();
+         off += static_cast<std::size_t>(kChunkSize)) {
+      append_chunk(s.substr(off, static_cast<std::size_t>(kChunkSize)));
+    }  // partial progress on mid-loop failure
+  });
+}
+
+void LinkedBuffer::append_line(const std::string& s) {
+  FAT_INVOKE(append_line, [&] {
+    append(s + "\n");  // all mutation happens in the callee
+  });
+}
+
+void LinkedBuffer::append_chunk(const std::string& piece) {
+  FAT_INVOKE(append_chunk, [&] {
+    if (!chunks_.empty() &&
+        chunks_.back().size() + piece.size() <=
+            static_cast<std::size_t>(kChunkSize)) {
+      chunks_.back() += piece;
+    } else {
+      chunks_.push_back(piece);
+    }
+    total_ += static_cast<int>(piece.size());
+  });
+}
+
+std::string LinkedBuffer::consume(int n) {
+  return FAT_INVOKE(consume, [&] {
+    if (n > total_) throw EmptyError();
+    std::string out;
+    while (static_cast<int>(out.size()) < n) {
+      std::string& front = chunks_.front();
+      const std::size_t want = static_cast<std::size_t>(n) - out.size();
+      if (front.size() <= want) {
+        out += front;
+        total_ -= static_cast<int>(front.size());
+        chunks_.pop_front();
+      } else {
+        out += front.substr(0, want);
+        front.erase(0, want);
+        total_ -= static_cast<int>(want);
+      }
+      if (!empty()) peek();  // fallible audit step mid-drain (legacy bug)
+    }
+    return out;
+  });
+}
+
+char LinkedBuffer::peek() {
+  return FAT_INVOKE(peek, [&] {
+    if (empty()) throw EmptyError();
+    return chunks_.front().front();
+  });
+}
+
+std::string LinkedBuffer::to_string() {
+  return FAT_INVOKE(to_string, [&] {
+    std::string out;
+    out.reserve(static_cast<std::size_t>(total_));
+    for (const std::string& c : chunks_) out += c;
+    return out;
+  });
+}
+
+void LinkedBuffer::clear() {
+  FAT_INVOKE(clear, [&] {
+    chunks_.clear();
+    total_ = 0;
+  });
+}
+
+void LinkedBuffer::compact() {
+  FAT_INVOKE(compact, [&] {
+    const std::string all = to_string();
+    clear();
+    append(all);  // rebuild: partial progress on failure
+  });
+}
+
+void LinkedBuffer::drain_from(LinkedBuffer& other) {
+  FAT_INVOKE_ARGS(drain_from, std::tie(other), [&] {
+    while (!other.empty())
+      append_chunk(other.consume(
+          other.size() < kChunkSize ? other.size() : kChunkSize));
+  });
+}
+
+}  // namespace subjects::collections

@@ -1,0 +1,69 @@
+// LinkedBuffer — a chunked byte buffer (port of the Java collections subject
+// of the same name): data is appended into fixed-size string chunks linked
+// in a list; consumption drains from the front.
+#pragma once
+
+#include <list>
+#include <string>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/collections/common.hpp"
+
+namespace subjects::collections {
+
+class LinkedBuffer {
+ public:
+  static constexpr int kChunkSize = 16;
+
+  LinkedBuffer() { FAT_CTOR_ENTRY(); }
+
+  int size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  int chunk_count() const { return static_cast<int>(chunks_.size()); }
+
+  /// Appends s, chunk by chunk (partial progress on failure).
+  void append(const std::string& s);
+  /// Appends s plus a newline; non-atomic only through append()
+  /// (conditional).
+  void append_line(const std::string& s);
+  /// Appends one chunk-sized piece (the fallible unit step).
+  void append_chunk(const std::string& piece);
+  /// Removes and returns the first n bytes; throws EmptyError when fewer
+  /// are available.  Drains chunk by chunk (partial progress on failure).
+  std::string consume(int n);
+  /// First byte without removing it; throws EmptyError.
+  char peek();
+  /// Entire contents without removing them.
+  std::string to_string();
+  void clear();
+  /// Compacts the buffer into maximal chunks (rebuild loop, partial
+  /// progress on failure).
+  void compact();
+  /// Moves the whole contents of `other` to the end of this buffer.
+  void drain_from(LinkedBuffer& other);
+
+ private:
+  FAT_REFLECT_FRIEND(LinkedBuffer);
+  FAT_CTOR_INFO(subjects::collections::LinkedBuffer);
+  FAT_METHOD_INFO(subjects::collections::LinkedBuffer, append);
+  FAT_METHOD_INFO(subjects::collections::LinkedBuffer, append_line);
+  FAT_METHOD_INFO(subjects::collections::LinkedBuffer, append_chunk);
+  FAT_METHOD_INFO(subjects::collections::LinkedBuffer, consume,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::LinkedBuffer, peek,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::LinkedBuffer, to_string);
+  FAT_METHOD_INFO(subjects::collections::LinkedBuffer, clear);
+  FAT_METHOD_INFO(subjects::collections::LinkedBuffer, compact);
+  FAT_METHOD_INFO(subjects::collections::LinkedBuffer, drain_from);
+
+  std::list<std::string> chunks_;
+  int total_ = 0;
+};
+
+}  // namespace subjects::collections
+
+FAT_REFLECT(subjects::collections::LinkedBuffer,
+            FAT_FIELD(subjects::collections::LinkedBuffer, chunks_),
+            FAT_FIELD(subjects::collections::LinkedBuffer, total_));

@@ -1,0 +1,234 @@
+#include "subjects/collections/linked_list.hpp"
+
+#include <algorithm>
+
+namespace subjects::collections {
+
+LNode* LinkedList::node_at(int i) const {
+  LNode* cur = head_.get();
+  for (int k = 0; k < i; ++k) cur = cur->next.get();
+  return cur;
+}
+
+void LinkedList::dispose() {
+  while (head_ != nullptr) head_ = std::move(head_->next);
+  size_ = 0;
+}
+
+int LinkedList::audit() {
+  return FAT_INVOKE(audit, [&] {
+    int n = 0;
+    for (LNode* cur = head_.get(); cur != nullptr; cur = cur->next.get()) ++n;
+    if (n != size_) throw CollectionError("audit: size mismatch");
+    return n;
+  });
+}
+
+int LinkedList::front() {
+  return FAT_INVOKE(front, [&] {
+    if (empty()) throw EmptyError();
+    return head_->value;
+  });
+}
+
+int LinkedList::back() {
+  return FAT_INVOKE(back, [&] {
+    if (empty()) throw EmptyError();
+    return node_at(size_ - 1)->value;
+  });
+}
+
+void LinkedList::push_front(int v) {
+  FAT_INVOKE(push_front, [&] {
+    auto n = std::make_unique<LNode>();
+    n->value = v;
+    n->next = std::move(head_);
+    head_ = std::move(n);
+    ++size_;
+    audit();  // BUG: fallible audit after the mutation
+  });
+}
+
+void LinkedList::push_back(int v) {
+  FAT_INVOKE(push_back, [&] {
+    auto n = std::make_unique<LNode>();
+    n->value = v;
+    if (head_ == nullptr) {
+      head_ = std::move(n);
+    } else {
+      node_at(size_ - 1)->next = std::move(n);
+    }
+    ++size_;
+    audit();  // BUG
+  });
+}
+
+int LinkedList::pop_front() {
+  return FAT_INVOKE(pop_front, [&] {
+    if (empty()) throw EmptyError();
+    const int v = head_->value;
+    head_ = std::move(head_->next);
+    --size_;
+    audit();  // BUG
+    return v;
+  });
+}
+
+int LinkedList::pop_back() {
+  return FAT_INVOKE(pop_back, [&] {
+    if (empty()) throw EmptyError();
+    if (size_ == 1) {
+      const int v = head_->value;
+      head_.reset();
+      --size_;
+      audit();  // BUG
+      return v;
+    }
+    LNode* prev = node_at(size_ - 2);
+    const int v = prev->next->value;
+    prev->next.reset();
+    --size_;
+    audit();  // BUG
+    return v;
+  });
+}
+
+int LinkedList::at(int i) {
+  return FAT_INVOKE(at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    return node_at(i)->value;
+  });
+}
+
+void LinkedList::set_at(int i, int v) {
+  FAT_INVOKE(set_at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    node_at(i)->value = v;
+    audit();  // BUG
+  });
+}
+
+void LinkedList::insert_at(int i, int v) {
+  FAT_INVOKE(insert_at, [&] {
+    if (i < 0 || i > size_) throw IndexError();
+    auto n = std::make_unique<LNode>();
+    n->value = v;
+    if (i == 0) {
+      n->next = std::move(head_);
+      head_ = std::move(n);
+    } else {
+      LNode* prev = node_at(i - 1);
+      n->next = std::move(prev->next);
+      prev->next = std::move(n);
+    }
+    ++size_;
+    audit();  // BUG
+  });
+}
+
+int LinkedList::remove_at(int i) {
+  return FAT_INVOKE(remove_at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    int v;
+    if (i == 0) {
+      v = head_->value;
+      head_ = std::move(head_->next);
+    } else {
+      LNode* prev = node_at(i - 1);
+      v = prev->next->value;
+      prev->next = std::move(prev->next->next);
+    }
+    --size_;
+    audit();  // BUG
+    return v;
+  });
+}
+
+int LinkedList::remove_value(int v) {
+  return FAT_INVOKE(remove_value, [&] {
+    int removed = 0;
+    int i = index_of(v);
+    while (i >= 0) {
+      remove_at(i);  // partial progress on failure
+      ++removed;
+      i = index_of(v);
+    }
+    return removed;
+  });
+}
+
+int LinkedList::index_of(int v) {
+  return FAT_INVOKE(index_of, [&] {
+    int i = 0;
+    for (LNode* cur = head_.get(); cur != nullptr; cur = cur->next.get(), ++i)
+      if (cur->value == v) return i;
+    return -1;
+  });
+}
+
+bool LinkedList::contains(int v) {
+  return FAT_INVOKE(contains, [&] { return index_of(v) >= 0; });
+}
+
+void LinkedList::clear() {
+  FAT_INVOKE(clear, [&] {
+    while (!empty()) pop_front();  // partial progress on failure
+  });
+}
+
+std::vector<int> LinkedList::to_vector() {
+  return FAT_INVOKE(to_vector, [&] {
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(size_));
+    for (LNode* cur = head_.get(); cur != nullptr; cur = cur->next.get())
+      out.push_back(cur->value);
+    return out;
+  });
+}
+
+void LinkedList::add_all(const std::vector<int>& vs) {
+  FAT_INVOKE(add_all, [&] {
+    for (int v : vs) push_back(v);  // partial progress on failure
+  });
+}
+
+void LinkedList::extend(LinkedList& other) {
+  FAT_INVOKE_ARGS(extend, std::tie(other), [&] {
+    while (!other.empty()) push_back(other.pop_front());  // partial
+  });
+}
+
+void LinkedList::insert_sorted(int v) {
+  FAT_INVOKE(insert_sorted, [&] {
+    int i = 0;
+    for (LNode* cur = head_.get(); cur != nullptr && cur->value < v;
+         cur = cur->next.get())
+      ++i;
+    insert_at(i, v);
+  });
+}
+
+void LinkedList::sort() {
+  FAT_INVOKE(sort, [&] {
+    std::vector<int> vs = to_vector();
+    std::sort(vs.begin(), vs.end());
+    clear();           // the list is empty if the next step fails ...
+    add_all(vs);       // ... and partially refilled if this one does
+  });
+}
+
+void LinkedList::reverse() {
+  FAT_INVOKE(reverse, [&] {
+    std::unique_ptr<LNode> rev;
+    while (head_ != nullptr) {
+      std::unique_ptr<LNode> n = std::move(head_);
+      head_ = std::move(n->next);
+      n->next = std::move(rev);
+      rev = std::move(n);
+    }
+    head_ = std::move(rev);
+    audit();  // BUG
+  });
+}
+
+}  // namespace subjects::collections

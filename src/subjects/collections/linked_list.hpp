@@ -1,0 +1,117 @@
+// LinkedList — singly linked list of ints (port of the Java collections
+// subject of the same name), in two variants:
+//
+//  - LinkedList: the legacy original.  Nearly every mutator calls the
+//    fallible audit() *after* mutating (and bulk operations make partial
+//    progress), so a large share of its methods is pure failure non-atomic —
+//    this is the subject of the paper's case study (Section 6.1), which
+//    reduced 18 pure non-atomic methods to 3 with trivial modifications.
+//  - LinkedListFixed (linked_list_fixed.hpp): the same API after the trivial
+//    fixes — audits moved before mutations, bulk operations build into a
+//    temporary and commit with a single splice.  Only the genuinely hard
+//    cases remain non-atomic.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/collections/common.hpp"
+
+namespace subjects::collections {
+
+struct LNode {
+  int value = 0;
+  std::unique_ptr<LNode> next;
+};
+
+class LinkedList {
+ public:
+  LinkedList() { FAT_CTOR_ENTRY(); }
+  ~LinkedList() { dispose(); }
+  LinkedList(const LinkedList&) = delete;
+  LinkedList& operator=(const LinkedList&) = delete;
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  int front();
+  int back();
+  void push_front(int v);
+  void push_back(int v);
+  int pop_front();
+  int pop_back();
+  int at(int i);
+  void set_at(int i, int v);
+  void insert_at(int i, int v);
+  int remove_at(int i);
+  /// Removes every occurrence of v; returns the count.
+  int remove_value(int v);
+  int index_of(int v);
+  bool contains(int v);
+  void clear();
+  std::vector<int> to_vector();
+  /// Appends all values.
+  void add_all(const std::vector<int>& vs);
+  /// Moves every element of `other` to this list's tail.
+  void extend(LinkedList& other);
+  /// Inserts v keeping ascending order (list must be sorted).
+  void insert_sorted(int v);
+  /// Sorts ascending (legacy: tear down and re-insert).
+  void sort();
+  void reverse();
+  /// Chain-walk invariant check; the fallible audit step legacy mutators
+  /// call after mutating.
+  int audit();
+
+ private:
+  FAT_REFLECT_FRIEND(LinkedList);
+  FAT_CTOR_INFO(subjects::collections::LinkedList);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, front,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::LinkedList, back,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::LinkedList, push_front);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, push_back);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, pop_front,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::LinkedList, pop_back,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::LinkedList, at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::LinkedList, set_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::LinkedList, insert_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::LinkedList, remove_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::LinkedList, remove_value);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, index_of);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, contains);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, clear);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, to_vector);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, add_all);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, extend);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, insert_sorted);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, sort);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, reverse);
+  FAT_METHOD_INFO(subjects::collections::LinkedList, audit,
+                  FAT_THROWS(subjects::collections::CollectionError));
+
+  LNode* node_at(int i) const;
+  void dispose();
+
+  std::unique_ptr<LNode> head_;
+  int size_ = 0;
+};
+
+}  // namespace subjects::collections
+
+FAT_REFLECT(subjects::collections::LNode,
+            FAT_FIELD(subjects::collections::LNode, value),
+            FAT_FIELD(subjects::collections::LNode, next));
+
+FAT_REFLECT(subjects::collections::LinkedList,
+            FAT_FIELD(subjects::collections::LinkedList, head_),
+            FAT_FIELD(subjects::collections::LinkedList, size_));

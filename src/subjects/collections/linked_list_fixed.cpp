@@ -1,0 +1,272 @@
+#include "subjects/collections/linked_list_fixed.hpp"
+
+#include <algorithm>
+
+namespace subjects::collections {
+
+LNode* LinkedListFixed::node_at(int i) const {
+  LNode* cur = head_.get();
+  for (int k = 0; k < i; ++k) cur = cur->next.get();
+  return cur;
+}
+
+void LinkedListFixed::dispose() {
+  while (head_ != nullptr) head_ = std::move(head_->next);
+  size_ = 0;
+}
+
+void LinkedListFixed::replace_chain(std::unique_ptr<LNode> chain, int n) {
+  head_ = std::move(chain);
+  size_ = n;
+}
+
+int LinkedListFixed::audit() {
+  return FAT_INVOKE(audit, [&] {
+    int n = 0;
+    for (LNode* cur = head_.get(); cur != nullptr; cur = cur->next.get()) ++n;
+    if (n != size_) throw CollectionError("audit: size mismatch");
+    return n;
+  });
+}
+
+int LinkedListFixed::front() {
+  return FAT_INVOKE(front, [&] {
+    if (empty()) throw EmptyError();
+    return head_->value;
+  });
+}
+
+int LinkedListFixed::back() {
+  return FAT_INVOKE(back, [&] {
+    if (empty()) throw EmptyError();
+    return node_at(size_ - 1)->value;
+  });
+}
+
+void LinkedListFixed::push_front(int v) {
+  FAT_INVOKE(push_front, [&] {
+    audit();  // FIX: fallible audit moved before the mutation
+    auto n = std::make_unique<LNode>();
+    n->value = v;
+    n->next = std::move(head_);
+    head_ = std::move(n);
+    ++size_;
+  });
+}
+
+void LinkedListFixed::push_back(int v) {
+  FAT_INVOKE(push_back, [&] {
+    audit();  // FIX
+    auto n = std::make_unique<LNode>();
+    n->value = v;
+    if (head_ == nullptr) {
+      head_ = std::move(n);
+    } else {
+      node_at(size_ - 1)->next = std::move(n);
+    }
+    ++size_;
+  });
+}
+
+int LinkedListFixed::pop_front() {
+  return FAT_INVOKE(pop_front, [&] {
+    if (empty()) throw EmptyError();
+    audit();  // FIX
+    const int v = head_->value;
+    head_ = std::move(head_->next);
+    --size_;
+    return v;
+  });
+}
+
+int LinkedListFixed::pop_back() {
+  return FAT_INVOKE(pop_back, [&] {
+    if (empty()) throw EmptyError();
+    audit();  // FIX
+    if (size_ == 1) {
+      const int v = head_->value;
+      head_.reset();
+      --size_;
+      return v;
+    }
+    LNode* prev = node_at(size_ - 2);
+    const int v = prev->next->value;
+    prev->next.reset();
+    --size_;
+    return v;
+  });
+}
+
+int LinkedListFixed::at(int i) {
+  return FAT_INVOKE(at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    return node_at(i)->value;
+  });
+}
+
+void LinkedListFixed::set_at(int i, int v) {
+  FAT_INVOKE(set_at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    audit();  // FIX
+    node_at(i)->value = v;
+  });
+}
+
+void LinkedListFixed::insert_at(int i, int v) {
+  FAT_INVOKE(insert_at, [&] {
+    if (i < 0 || i > size_) throw IndexError();
+    audit();  // FIX
+    auto n = std::make_unique<LNode>();
+    n->value = v;
+    if (i == 0) {
+      n->next = std::move(head_);
+      head_ = std::move(n);
+    } else {
+      LNode* prev = node_at(i - 1);
+      n->next = std::move(prev->next);
+      prev->next = std::move(n);
+    }
+    ++size_;
+  });
+}
+
+int LinkedListFixed::remove_at(int i) {
+  return FAT_INVOKE(remove_at, [&] {
+    if (i < 0 || i >= size_) throw IndexError();
+    audit();  // FIX
+    int v;
+    if (i == 0) {
+      v = head_->value;
+      head_ = std::move(head_->next);
+    } else {
+      LNode* prev = node_at(i - 1);
+      v = prev->next->value;
+      prev->next = std::move(prev->next->next);
+    }
+    --size_;
+    return v;
+  });
+}
+
+int LinkedListFixed::remove_value(int v) {
+  return FAT_INVOKE(remove_value, [&] {
+    // Still incremental: each removal is separately fallible, and a failure
+    // mid-scan leaves some occurrences removed.  This is one of the methods
+    // the case study could not fix by reordering — masking handles it.
+    int removed = 0;
+    int i = index_of(v);
+    while (i >= 0) {
+      remove_at(i);
+      ++removed;
+      i = index_of(v);
+    }
+    return removed;
+  });
+}
+
+int LinkedListFixed::index_of(int v) {
+  return FAT_INVOKE(index_of, [&] {
+    int i = 0;
+    for (LNode* cur = head_.get(); cur != nullptr; cur = cur->next.get(), ++i)
+      if (cur->value == v) return i;
+    return -1;
+  });
+}
+
+bool LinkedListFixed::contains(int v) {
+  return FAT_INVOKE(contains, [&] { return index_of(v) >= 0; });
+}
+
+void LinkedListFixed::clear() {
+  FAT_INVOKE(clear, [&] {
+    // FIX: single uninterruptible teardown instead of repeated pop_front.
+    dispose();
+  });
+}
+
+std::vector<int> LinkedListFixed::to_vector() {
+  return FAT_INVOKE(to_vector, [&] {
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(size_));
+    for (LNode* cur = head_.get(); cur != nullptr; cur = cur->next.get())
+      out.push_back(cur->value);
+    return out;
+  });
+}
+
+void LinkedListFixed::add_all(const std::vector<int>& vs) {
+  FAT_INVOKE(add_all, [&] {
+    audit();  // FIX: fallible step first ...
+    // ... then build the suffix as a detached chain and commit by splicing.
+    std::unique_ptr<LNode> chain;
+    LNode* tail = nullptr;
+    for (int v : vs) {
+      auto n = std::make_unique<LNode>();
+      n->value = v;
+      if (tail == nullptr) {
+        chain = std::move(n);
+        tail = chain.get();
+      } else {
+        tail->next = std::move(n);
+        tail = tail->next.get();
+      }
+    }
+    if (chain == nullptr) return;
+    if (head_ == nullptr) {
+      head_ = std::move(chain);
+    } else {
+      node_at(size_ - 1)->next = std::move(chain);
+    }
+    size_ += static_cast<int>(vs.size());
+  });
+}
+
+void LinkedListFixed::extend(LinkedListFixed& other) {
+  FAT_INVOKE_ARGS(extend, std::tie(other), [&] {
+    // Still element-by-element (the paper's masking target): each step
+    // mutates both lists and is separately fallible.
+    while (!other.empty()) push_back(other.pop_front());
+  });
+}
+
+void LinkedListFixed::insert_sorted(int v) {
+  FAT_INVOKE(insert_sorted, [&] {
+    int i = 0;
+    for (LNode* cur = head_.get(); cur != nullptr && cur->value < v;
+         cur = cur->next.get())
+      ++i;
+    insert_at(i, v);
+  });
+}
+
+void LinkedListFixed::sort() {
+  FAT_INVOKE(sort, [&] {
+    // FIX: sort into a temporary chain, commit with a single splice.
+    std::vector<int> vs = to_vector();
+    std::sort(vs.begin(), vs.end());
+    std::unique_ptr<LNode> chain;
+    for (auto it = vs.rbegin(); it != vs.rend(); ++it) {
+      auto n = std::make_unique<LNode>();
+      n->value = *it;
+      n->next = std::move(chain);
+      chain = std::move(n);
+    }
+    replace_chain(std::move(chain), static_cast<int>(vs.size()));
+  });
+}
+
+void LinkedListFixed::reverse() {
+  FAT_INVOKE(reverse, [&] {
+    audit();  // FIX: audit first
+    std::unique_ptr<LNode> rev;
+    while (head_ != nullptr) {
+      std::unique_ptr<LNode> n = std::move(head_);
+      head_ = std::move(n->next);
+      n->next = std::move(rev);
+      rev = std::move(n);
+    }
+    head_ = std::move(rev);
+  });
+}
+
+}  // namespace subjects::collections

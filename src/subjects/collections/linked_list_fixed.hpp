@@ -1,0 +1,98 @@
+// LinkedListFixed — the LinkedList subject after the paper's case-study
+// repair (Section 6.1): the same API, with the trivial modifications the
+// paper describes (reordering statements, temporaries, commit-by-splice).
+// Only the operations that genuinely cannot be fixed by reordering —
+// remove_value's incremental scan and extend's element-by-element move —
+// remain pure failure non-atomic; they are what the masking phase is for.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/collections/common.hpp"
+#include "subjects/collections/linked_list.hpp"  // reuses LNode
+
+namespace subjects::collections {
+
+class LinkedListFixed {
+ public:
+  LinkedListFixed() { FAT_CTOR_ENTRY(); }
+  ~LinkedListFixed() { dispose(); }
+  LinkedListFixed(const LinkedListFixed&) = delete;
+  LinkedListFixed& operator=(const LinkedListFixed&) = delete;
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  int front();
+  int back();
+  void push_front(int v);
+  void push_back(int v);
+  int pop_front();
+  int pop_back();
+  int at(int i);
+  void set_at(int i, int v);
+  void insert_at(int i, int v);
+  int remove_at(int i);
+  int remove_value(int v);
+  int index_of(int v);
+  bool contains(int v);
+  void clear();
+  std::vector<int> to_vector();
+  void add_all(const std::vector<int>& vs);
+  void extend(LinkedListFixed& other);
+  void insert_sorted(int v);
+  void sort();
+  void reverse();
+  int audit();
+
+ private:
+  FAT_REFLECT_FRIEND(LinkedListFixed);
+  FAT_CTOR_INFO(subjects::collections::LinkedListFixed);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, front,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, back,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, push_front);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, push_back);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, pop_front,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, pop_back,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, set_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, insert_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, remove_at,
+                  FAT_THROWS(subjects::collections::IndexError));
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, remove_value);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, index_of);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, contains);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, clear);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, to_vector);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, add_all);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, extend);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, insert_sorted);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, sort);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, reverse);
+  FAT_METHOD_INFO(subjects::collections::LinkedListFixed, audit,
+                  FAT_THROWS(subjects::collections::CollectionError));
+
+  LNode* node_at(int i) const;
+  void dispose();
+  /// Uninstrumented commit helper: replaces the whole chain in one step.
+  void replace_chain(std::unique_ptr<LNode> chain, int n);
+
+  std::unique_ptr<LNode> head_;
+  int size_ = 0;
+};
+
+}  // namespace subjects::collections
+
+FAT_REFLECT(subjects::collections::LinkedListFixed,
+            FAT_FIELD(subjects::collections::LinkedListFixed, head_),
+            FAT_FIELD(subjects::collections::LinkedListFixed, size_));

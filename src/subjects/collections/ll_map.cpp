@@ -1,0 +1,122 @@
+#include "subjects/collections/ll_map.hpp"
+
+namespace subjects::collections {
+
+std::unique_ptr<LEntry> LLMap::unlink(const std::string& key) {
+  std::unique_ptr<LEntry>* slot = &head_;
+  while (*slot != nullptr) {
+    if ((*slot)->key == key) {
+      std::unique_ptr<LEntry> e = std::move(*slot);
+      *slot = std::move(e->next);
+      return e;
+    }
+    slot = &(*slot)->next;
+  }
+  return nullptr;
+}
+
+bool LLMap::put(const std::string& key, int value) {
+  return FAT_INVOKE(put, [&] {
+    for (LEntry* e = head_.get(); e != nullptr; e = e->next.get()) {
+      if (e->key == key) {
+        e->value = value;
+        return false;
+      }
+    }
+    auto e = std::make_unique<LEntry>();
+    e->key = key;
+    e->value = value;
+    e->next = std::move(head_);
+    head_ = std::move(e);
+    ++size_;
+    return true;
+  });
+}
+
+int LLMap::get(const std::string& key) {
+  return FAT_INVOKE(get, [&] {
+    std::unique_ptr<LEntry> e = unlink(key);
+    if (e == nullptr) throw KeyError();
+    // Move-to-front, then re-validate chain length through a fallible call:
+    // the list is already re-ordered when chain_length() fails (legacy bug —
+    // a read that is failure non-atomic!).
+    const int v = e->value;
+    e->next = std::move(head_);
+    head_ = std::move(e);
+    chain_length();
+    return v;
+  });
+}
+
+int LLMap::get_or(const std::string& key, int fallback) {
+  return FAT_INVOKE(get_or, [&] {
+    for (LEntry* e = head_.get(); e != nullptr; e = e->next.get())
+      if (e->key == key) return e->value;
+    return fallback;
+  });
+}
+
+bool LLMap::contains_key(const std::string& key) {
+  return FAT_INVOKE(contains_key, [&] {
+    for (LEntry* e = head_.get(); e != nullptr; e = e->next.get())
+      if (e->key == key) return true;
+    return false;
+  });
+}
+
+int LLMap::remove(const std::string& key) {
+  return FAT_INVOKE(remove, [&] {
+    std::unique_ptr<LEntry> e = unlink(key);
+    if (e == nullptr) throw KeyError();
+    --size_;
+    return e->value;
+  });
+}
+
+void LLMap::clear() {
+  FAT_INVOKE(clear, [&] {
+    // Iterative teardown: a recursive unique_ptr chain release would
+    // overflow the stack on long chains.
+    while (head_ != nullptr) head_ = std::move(head_->next);
+    size_ = 0;
+  });
+}
+
+std::vector<std::string> LLMap::keys() {
+  return FAT_INVOKE(keys, [&] {
+    std::vector<std::string> out;
+    for (LEntry* e = head_.get(); e != nullptr; e = e->next.get())
+      out.push_back(e->key);
+    return out;
+  });
+}
+
+int LLMap::remove_value(int v) {
+  return FAT_INVOKE(remove_value, [&] {
+    int removed = 0;
+    for (const std::string& k : keys()) {
+      if (get_or(k, v - 1) == v) {
+        remove(k);  // partial progress on failure
+        ++removed;
+      }
+    }
+    return removed;
+  });
+}
+
+void LLMap::put_all(LLMap& other) {
+  FAT_INVOKE(put_all, [&] {
+    for (const std::string& k : other.keys())
+      put(k, other.get_or(k, 0));  // partial progress on failure
+  });
+}
+
+int LLMap::chain_length() {
+  return FAT_INVOKE(chain_length, [&] {
+    int n = 0;
+    for (LEntry* e = head_.get(); e != nullptr; e = e->next.get()) ++n;
+    return n;
+  });
+}
+
+}  // namespace subjects::collections

@@ -1,0 +1,81 @@
+// LLMap — an association list from string keys to int values backed by a
+// singly linked chain (port of the Java collections subject of the same
+// name).  Lookup is linear; put moves the hit entry to the front
+// (move-to-front heuristic, as in the Java original).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/collections/common.hpp"
+
+namespace subjects::collections {
+
+struct LEntry {
+  std::string key;
+  int value = 0;
+  std::unique_ptr<LEntry> next;
+};
+
+class LLMap {
+ public:
+  LLMap() { FAT_CTOR_ENTRY(); }
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts or overwrites; returns true when the key was new.
+  bool put(const std::string& key, int value);
+  /// Value for key; throws KeyError when absent.  Moves the hit entry to
+  /// the front *before* the final validation step (legacy bug).
+  int get(const std::string& key);
+  int get_or(const std::string& key, int fallback);
+  bool contains_key(const std::string& key);
+  /// Removes key and returns its value; throws KeyError when absent.
+  int remove(const std::string& key);
+  void clear();
+  std::vector<std::string> keys();
+  /// Removes every entry whose value equals v; returns the count (partial
+  /// progress on failure).
+  int remove_value(int v);
+  /// Copies all entries of `other` into this (partial progress on failure).
+  void put_all(LLMap& other);
+  /// Audit helper used by the workloads: counts chain length.
+  int chain_length();
+
+ private:
+  FAT_REFLECT_FRIEND(LLMap);
+  FAT_CTOR_INFO(subjects::collections::LLMap);
+  FAT_METHOD_INFO(subjects::collections::LLMap, put);
+  FAT_METHOD_INFO(subjects::collections::LLMap, get,
+                  FAT_THROWS(subjects::collections::KeyError));
+  FAT_METHOD_INFO(subjects::collections::LLMap, get_or);
+  FAT_METHOD_INFO(subjects::collections::LLMap, contains_key);
+  FAT_METHOD_INFO(subjects::collections::LLMap, remove,
+                  FAT_THROWS(subjects::collections::KeyError));
+  FAT_METHOD_INFO(subjects::collections::LLMap, clear);
+  FAT_METHOD_INFO(subjects::collections::LLMap, keys);
+  FAT_METHOD_INFO(subjects::collections::LLMap, remove_value);
+  FAT_METHOD_INFO(subjects::collections::LLMap, put_all);
+  FAT_METHOD_INFO(subjects::collections::LLMap, chain_length);
+
+  /// Unlinks the entry for key (if any) and returns it.
+  std::unique_ptr<LEntry> unlink(const std::string& key);
+
+  std::unique_ptr<LEntry> head_;
+  int size_ = 0;
+};
+
+}  // namespace subjects::collections
+
+FAT_REFLECT(subjects::collections::LEntry,
+            FAT_FIELD(subjects::collections::LEntry, key),
+            FAT_FIELD(subjects::collections::LEntry, value),
+            FAT_FIELD(subjects::collections::LEntry, next));
+
+FAT_REFLECT(subjects::collections::LLMap,
+            FAT_FIELD(subjects::collections::LLMap, head_),
+            FAT_FIELD(subjects::collections::LLMap, size_));

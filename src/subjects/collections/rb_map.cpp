@@ -1,0 +1,218 @@
+#include "subjects/collections/rb_map.hpp"
+
+namespace subjects::collections {
+
+std::unique_ptr<MapNode> RBMap::balance(std::unique_ptr<MapNode> n) {
+  if (n == nullptr || n->color == Color::Red) return n;
+  std::unique_ptr<MapNode> a, b, c, t1, t2, t3, t4;
+  if (is_red(n->left.get()) && is_red(n->left->left.get())) {
+    c = std::move(n);
+    b = std::move(c->left);
+    a = std::move(b->left);
+    t1 = std::move(a->left);
+    t2 = std::move(a->right);
+    t3 = std::move(b->right);
+    t4 = std::move(c->right);
+  } else if (is_red(n->left.get()) && is_red(n->left->right.get())) {
+    c = std::move(n);
+    a = std::move(c->left);
+    b = std::move(a->right);
+    t1 = std::move(a->left);
+    t2 = std::move(b->left);
+    t3 = std::move(b->right);
+    t4 = std::move(c->right);
+  } else if (is_red(n->right.get()) && is_red(n->right->left.get())) {
+    a = std::move(n);
+    c = std::move(a->right);
+    b = std::move(c->left);
+    t1 = std::move(a->left);
+    t2 = std::move(b->left);
+    t3 = std::move(b->right);
+    t4 = std::move(c->right);
+  } else if (is_red(n->right.get()) && is_red(n->right->right.get())) {
+    a = std::move(n);
+    b = std::move(a->right);
+    c = std::move(b->right);
+    t1 = std::move(a->left);
+    t2 = std::move(b->left);
+    t3 = std::move(c->left);
+    t4 = std::move(c->right);
+  } else {
+    return n;
+  }
+  a->color = Color::Black;
+  a->left = std::move(t1);
+  a->right = std::move(t2);
+  c->color = Color::Black;
+  c->left = std::move(t3);
+  c->right = std::move(t4);
+  b->color = Color::Red;
+  b->left = std::move(a);
+  b->right = std::move(c);
+  return b;
+}
+
+std::unique_ptr<MapNode> RBMap::insert_rec(std::unique_ptr<MapNode> node,
+                                           const std::string& key, int value,
+                                           bool& added) {
+  if (node == nullptr) {
+    auto n = std::make_unique<MapNode>();
+    n->key = key;
+    n->value = value;
+    n->color = Color::Red;
+    added = true;
+    return n;
+  }
+  if (key < node->key) {
+    node->left = insert_rec(std::move(node->left), key, value, added);
+  } else if (key > node->key) {
+    node->right = insert_rec(std::move(node->right), key, value, added);
+  } else {
+    node->value = value;
+    added = false;
+    return node;
+  }
+  return balance(std::move(node));
+}
+
+MapNode* RBMap::find_node(const std::string& key) const {
+  MapNode* cur = root_.get();
+  while (cur != nullptr) {
+    if (key < cur->key)
+      cur = cur->left.get();
+    else if (key > cur->key)
+      cur = cur->right.get();
+    else
+      return cur;
+  }
+  return nullptr;
+}
+
+bool RBMap::put(const std::string& key, int value) {
+  return FAT_INVOKE(put, [&] {
+    if (MapNode* hit = find_node(key)) {
+      hit->value = value;
+      return false;
+    }
+    ++size_;     // BUG: counter bumped before the fallible structural work
+    validate();  // fallible audit on the pre-insert tree (legacy order)
+    bool added = false;
+    root_ = insert_rec(std::move(root_), key, value, added);
+    root_->color = Color::Black;
+    return added;
+  });
+}
+
+bool RBMap::put_if_absent(const std::string& key, int value) {
+  return FAT_INVOKE(put_if_absent, [&] {
+    if (contains_key(key)) return false;
+    put(key, value);  // all mutation happens in the callee
+    return true;
+  });
+}
+
+int RBMap::get(const std::string& key) {
+  return FAT_INVOKE(get, [&] {
+    MapNode* n = find_node(key);
+    if (n == nullptr) throw KeyError();
+    return n->value;
+  });
+}
+
+int RBMap::get_or(const std::string& key, int fallback) {
+  return FAT_INVOKE(get_or, [&] {
+    MapNode* n = find_node(key);
+    return n == nullptr ? fallback : n->value;
+  });
+}
+
+bool RBMap::contains_key(const std::string& key) {
+  return FAT_INVOKE(contains_key, [&] { return find_node(key) != nullptr; });
+}
+
+bool RBMap::remove(const std::string& key) {
+  return FAT_INVOKE(remove, [&] {
+    if (find_node(key) == nullptr) return false;
+    std::vector<std::pair<std::string, int>> entries;
+    collect(root_.get(), entries);
+    clear();
+    for (const auto& [k, v] : entries)
+      if (k != key) put(k, v);  // partial progress on failure
+    return true;
+  });
+}
+
+std::string RBMap::min_key() {
+  return FAT_INVOKE(min_key, [&] {
+    if (root_ == nullptr) throw EmptyError();
+    const MapNode* cur = root_.get();
+    while (cur->left != nullptr) cur = cur->left.get();
+    return cur->key;
+  });
+}
+
+std::string RBMap::max_key() {
+  return FAT_INVOKE(max_key, [&] {
+    if (root_ == nullptr) throw EmptyError();
+    const MapNode* cur = root_.get();
+    while (cur->right != nullptr) cur = cur->right.get();
+    return cur->key;
+  });
+}
+
+void RBMap::clear() {
+  FAT_INVOKE(clear, [&] {
+    root_.reset();
+    size_ = 0;
+  });
+}
+
+void RBMap::collect(const MapNode* n,
+                    std::vector<std::pair<std::string, int>>& out) {
+  if (n == nullptr) return;
+  collect(n->left.get(), out);
+  out.emplace_back(n->key, n->value);
+  collect(n->right.get(), out);
+}
+
+std::vector<std::string> RBMap::keys() {
+  return FAT_INVOKE(keys, [&] {
+    std::vector<std::pair<std::string, int>> entries;
+    collect(root_.get(), entries);
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto& [k, v] : entries) out.push_back(k);
+    return out;
+  });
+}
+
+void RBMap::put_all(RBMap& other) {
+  FAT_INVOKE(put_all, [&] {
+    for (const std::string& k : other.keys())
+      put(k, other.get(k));  // partial progress on failure
+  });
+}
+
+int RBMap::check_rec(const MapNode* n) {
+  if (n == nullptr) return 1;
+  if (is_red(n) && (is_red(n->left.get()) || is_red(n->right.get())))
+    throw CollectionError("validate: red-red violation");
+  if (n->left != nullptr && n->left->key >= n->key)
+    throw CollectionError("validate: BST order violation");
+  if (n->right != nullptr && n->right->key <= n->key)
+    throw CollectionError("validate: BST order violation");
+  const int l = check_rec(n->left.get());
+  const int r = check_rec(n->right.get());
+  if (l != r) throw CollectionError("validate: black-height violation");
+  return l + (n->color == Color::Black ? 1 : 0);
+}
+
+int RBMap::validate() {
+  return FAT_INVOKE(validate, [&] {
+    if (root_ != nullptr && root_->color != Color::Black)
+      throw CollectionError("validate: red root");
+    return check_rec(root_.get());
+  });
+}
+
+}  // namespace subjects::collections

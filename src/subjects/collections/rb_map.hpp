@@ -1,0 +1,103 @@
+// RBMap — a red-black tree map from string keys to int values (port of the
+// Java collections subject of the same name).  Same balancing scheme as
+// RBTree; put() carries the size-before-structural-work legacy bug, and
+// remove() is the rebuild shortcut (pure failure non-atomic).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/collections/common.hpp"
+#include "subjects/collections/rb_tree.hpp"  // Color
+
+namespace subjects::collections {
+
+struct MapNode {
+  std::string key;
+  int value = 0;
+  Color color = Color::Red;
+  std::unique_ptr<MapNode> left;
+  std::unique_ptr<MapNode> right;
+};
+
+class RBMap {
+ public:
+  RBMap() { FAT_CTOR_ENTRY(); }
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts or overwrites; returns true when the key was new.
+  bool put(const std::string& key, int value);
+  /// Inserts only when absent; non-atomic only through put() (conditional).
+  bool put_if_absent(const std::string& key, int value);
+  /// Value for key; throws KeyError when absent.
+  int get(const std::string& key);
+  int get_or(const std::string& key, int fallback);
+  bool contains_key(const std::string& key);
+  /// Removes key; returns true when present (legacy rebuild, partial
+  /// progress on failure).
+  bool remove(const std::string& key);
+  /// Smallest key; throws EmptyError.
+  std::string min_key();
+  /// Largest key; throws EmptyError.
+  std::string max_key();
+  void clear();
+  std::vector<std::string> keys();
+  /// Copies every entry of `other` into this map (partial on failure).
+  void put_all(RBMap& other);
+  /// Red-black + BST invariant check; returns the black height.
+  int validate();
+
+ private:
+  FAT_REFLECT_FRIEND(RBMap);
+  FAT_CTOR_INFO(subjects::collections::RBMap);
+  FAT_METHOD_INFO(subjects::collections::RBMap, put);
+  FAT_METHOD_INFO(subjects::collections::RBMap, put_if_absent);
+  FAT_METHOD_INFO(subjects::collections::RBMap, get,
+                  FAT_THROWS(subjects::collections::KeyError));
+  FAT_METHOD_INFO(subjects::collections::RBMap, get_or);
+  FAT_METHOD_INFO(subjects::collections::RBMap, contains_key);
+  FAT_METHOD_INFO(subjects::collections::RBMap, remove);
+  FAT_METHOD_INFO(subjects::collections::RBMap, min_key,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::RBMap, max_key,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::RBMap, clear);
+  FAT_METHOD_INFO(subjects::collections::RBMap, keys);
+  FAT_METHOD_INFO(subjects::collections::RBMap, put_all);
+  FAT_METHOD_INFO(subjects::collections::RBMap, validate,
+                  FAT_THROWS(subjects::collections::CollectionError));
+
+  static bool is_red(const MapNode* n) {
+    return n != nullptr && n->color == Color::Red;
+  }
+  static std::unique_ptr<MapNode> balance(std::unique_ptr<MapNode> n);
+  static std::unique_ptr<MapNode> insert_rec(std::unique_ptr<MapNode> node,
+                                             const std::string& key, int value,
+                                             bool& added);
+  static void collect(const MapNode* n,
+                      std::vector<std::pair<std::string, int>>& out);
+  static int check_rec(const MapNode* n);
+  MapNode* find_node(const std::string& key) const;
+
+  std::unique_ptr<MapNode> root_;
+  int size_ = 0;
+};
+
+}  // namespace subjects::collections
+
+FAT_REFLECT(subjects::collections::MapNode,
+            FAT_FIELD(subjects::collections::MapNode, key),
+            FAT_FIELD(subjects::collections::MapNode, value),
+            FAT_FIELD(subjects::collections::MapNode, color),
+            FAT_FIELD(subjects::collections::MapNode, left),
+            FAT_FIELD(subjects::collections::MapNode, right));
+
+FAT_REFLECT(subjects::collections::RBMap,
+            FAT_FIELD(subjects::collections::RBMap, root_),
+            FAT_FIELD(subjects::collections::RBMap, size_));

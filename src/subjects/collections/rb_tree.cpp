@@ -1,0 +1,204 @@
+#include "subjects/collections/rb_tree.hpp"
+
+namespace subjects::collections {
+
+std::unique_ptr<TNode> RBTree::balance(std::unique_ptr<TNode> n) {
+  // Okasaki's balance: a black node with a red child that itself has a red
+  // child is rewritten into a red node `b` with black children `a` < `b` <
+  // `c` and subtrees t1..t4 in order.
+  if (n == nullptr || n->color == Color::Red) return n;
+  std::unique_ptr<TNode> a, b, c, t1, t2, t3, t4;
+  if (is_red(n->left.get()) && is_red(n->left->left.get())) {
+    c = std::move(n);
+    b = std::move(c->left);
+    a = std::move(b->left);
+    t1 = std::move(a->left);
+    t2 = std::move(a->right);
+    t3 = std::move(b->right);
+    t4 = std::move(c->right);
+  } else if (is_red(n->left.get()) && is_red(n->left->right.get())) {
+    c = std::move(n);
+    a = std::move(c->left);
+    b = std::move(a->right);
+    t1 = std::move(a->left);
+    t2 = std::move(b->left);
+    t3 = std::move(b->right);
+    t4 = std::move(c->right);
+  } else if (is_red(n->right.get()) && is_red(n->right->left.get())) {
+    a = std::move(n);
+    c = std::move(a->right);
+    b = std::move(c->left);
+    t1 = std::move(a->left);
+    t2 = std::move(b->left);
+    t3 = std::move(b->right);
+    t4 = std::move(c->right);
+  } else if (is_red(n->right.get()) && is_red(n->right->right.get())) {
+    a = std::move(n);
+    b = std::move(a->right);
+    c = std::move(b->right);
+    t1 = std::move(a->left);
+    t2 = std::move(b->left);
+    t3 = std::move(c->left);
+    t4 = std::move(c->right);
+  } else {
+    return n;
+  }
+  a->color = Color::Black;
+  a->left = std::move(t1);
+  a->right = std::move(t2);
+  c->color = Color::Black;
+  c->left = std::move(t3);
+  c->right = std::move(t4);
+  b->color = Color::Red;
+  b->left = std::move(a);
+  b->right = std::move(c);
+  return b;
+}
+
+std::unique_ptr<TNode> RBTree::insert_rec(std::unique_ptr<TNode> node, int key,
+                                          bool& added) {
+  if (node == nullptr) {
+    auto n = std::make_unique<TNode>();
+    n->key = key;
+    n->color = Color::Red;
+    added = true;
+    return n;
+  }
+  if (key < node->key) {
+    node->left = insert_rec(std::move(node->left), key, added);
+  } else if (key > node->key) {
+    node->right = insert_rec(std::move(node->right), key, added);
+  } else {
+    added = false;
+    return node;
+  }
+  return balance(std::move(node));
+}
+
+bool RBTree::insert(int key) {
+  return FAT_INVOKE(insert, [&] {
+    if (contains(key)) return false;
+    ++size_;     // BUG: counter bumped before the fallible structural work
+    validate();  // fallible audit on the *pre-insert* tree (legacy order)
+    bool added = false;
+    root_ = insert_rec(std::move(root_), key, added);
+    root_->color = Color::Black;
+    return added;
+  });
+}
+
+void RBTree::ensure(int key) {
+  FAT_INVOKE(ensure, [&] {
+    if (!contains(key)) insert(key);  // all mutation happens in the callee
+  });
+}
+
+bool RBTree::contains(int key) {
+  return FAT_INVOKE(contains, [&] {
+    const TNode* cur = root_.get();
+    while (cur != nullptr) {
+      if (key < cur->key)
+        cur = cur->left.get();
+      else if (key > cur->key)
+        cur = cur->right.get();
+      else
+        return true;
+    }
+    return false;
+  });
+}
+
+bool RBTree::remove(int key) {
+  return FAT_INVOKE(remove, [&] {
+    if (!contains(key)) return false;
+    // Legacy shortcut: rebuild the whole tree without the key.  A failure
+    // mid-rebuild loses elements (pure failure non-atomic).
+    std::vector<int> keys = to_sorted_vector();
+    clear();
+    for (int k : keys)
+      if (k != key) insert(k);
+    return true;
+  });
+}
+
+int RBTree::min() {
+  return FAT_INVOKE(min, [&] {
+    if (root_ == nullptr) throw EmptyError();
+    const TNode* cur = root_.get();
+    while (cur->left != nullptr) cur = cur->left.get();
+    return cur->key;
+  });
+}
+
+int RBTree::max() {
+  return FAT_INVOKE(max, [&] {
+    if (root_ == nullptr) throw EmptyError();
+    const TNode* cur = root_.get();
+    while (cur->right != nullptr) cur = cur->right.get();
+    return cur->key;
+  });
+}
+
+int RBTree::height_rec(const TNode* n) {
+  if (n == nullptr) return 0;
+  const int l = height_rec(n->left.get());
+  const int r = height_rec(n->right.get());
+  return 1 + (l > r ? l : r);
+}
+
+int RBTree::height() {
+  return FAT_INVOKE(height, [&] { return height_rec(root_.get()); });
+}
+
+void RBTree::clear() {
+  FAT_INVOKE(clear, [&] {
+    root_.reset();
+    size_ = 0;
+  });
+}
+
+void RBTree::collect(const TNode* n, std::vector<int>& out) {
+  if (n == nullptr) return;
+  collect(n->left.get(), out);
+  out.push_back(n->key);
+  collect(n->right.get(), out);
+}
+
+std::vector<int> RBTree::to_sorted_vector() {
+  return FAT_INVOKE(to_sorted_vector, [&] {
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(size_));
+    collect(root_.get(), out);
+    return out;
+  });
+}
+
+void RBTree::insert_all(const std::vector<int>& keys) {
+  FAT_INVOKE(insert_all, [&] {
+    for (int k : keys) insert(k);  // partial progress on failure
+  });
+}
+
+int RBTree::check_rec(const TNode* n) {
+  if (n == nullptr) return 1;  // nil nodes are black
+  if (is_red(n) && (is_red(n->left.get()) || is_red(n->right.get())))
+    throw CollectionError("validate: red-red violation");
+  if (n->left != nullptr && n->left->key >= n->key)
+    throw CollectionError("validate: BST order violation");
+  if (n->right != nullptr && n->right->key <= n->key)
+    throw CollectionError("validate: BST order violation");
+  const int l = check_rec(n->left.get());
+  const int r = check_rec(n->right.get());
+  if (l != r) throw CollectionError("validate: black-height violation");
+  return l + (n->color == Color::Black ? 1 : 0);
+}
+
+int RBTree::validate() {
+  return FAT_INVOKE(validate, [&] {
+    if (root_ != nullptr && root_->color != Color::Black)
+      throw CollectionError("validate: red root");
+    return check_rec(root_.get());
+  });
+}
+
+}  // namespace subjects::collections

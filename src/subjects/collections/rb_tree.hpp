@@ -1,0 +1,100 @@
+// RBTree — a red-black binary search tree of ints (port of the Java
+// collections subject of the same name).  Insertion uses the classic
+// balance-on-the-way-up scheme (no parent pointers, so children can be
+// unique_ptrs); removal is the legacy rebuild-from-traversal shortcut, which
+// is pure failure non-atomic by construction.
+//
+// validate() checks the red-black invariants and is used both by the test
+// suite and as the fallible audit step inside insert (size is bumped before
+// the structural work — the classic legacy bug).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/collections/common.hpp"
+
+namespace subjects::collections {
+
+enum class Color : std::uint8_t { Red, Black };
+
+struct TNode {
+  int key = 0;
+  Color color = Color::Red;
+  std::unique_ptr<TNode> left;
+  std::unique_ptr<TNode> right;
+};
+
+class RBTree {
+ public:
+  RBTree() { FAT_CTOR_ENTRY(); }
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts key; returns true when it was new.
+  bool insert(int key);
+  /// Guarantees membership; non-atomic only through insert() (conditional).
+  void ensure(int key);
+  bool contains(int key);
+  /// Removes key; returns true when present.  Legacy implementation:
+  /// collect, clear, re-insert (partial progress on failure).
+  bool remove(int key);
+  /// Smallest key; throws EmptyError.
+  int min();
+  /// Largest key; throws EmptyError.
+  int max();
+  int height();
+  void clear();
+  std::vector<int> to_sorted_vector();
+  /// Inserts every key (partial progress on failure).
+  void insert_all(const std::vector<int>& keys);
+  /// Checks the BST order, red-red and black-height invariants; throws
+  /// CollectionError on violation; returns the black height.
+  int validate();
+
+ private:
+  FAT_REFLECT_FRIEND(RBTree);
+  FAT_CTOR_INFO(subjects::collections::RBTree);
+  FAT_METHOD_INFO(subjects::collections::RBTree, insert);
+  FAT_METHOD_INFO(subjects::collections::RBTree, ensure);
+  FAT_METHOD_INFO(subjects::collections::RBTree, contains);
+  FAT_METHOD_INFO(subjects::collections::RBTree, remove);
+  FAT_METHOD_INFO(subjects::collections::RBTree, min,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::RBTree, max,
+                  FAT_THROWS(subjects::collections::EmptyError));
+  FAT_METHOD_INFO(subjects::collections::RBTree, height);
+  FAT_METHOD_INFO(subjects::collections::RBTree, clear);
+  FAT_METHOD_INFO(subjects::collections::RBTree, to_sorted_vector);
+  FAT_METHOD_INFO(subjects::collections::RBTree, insert_all);
+  FAT_METHOD_INFO(subjects::collections::RBTree, validate,
+                  FAT_THROWS(subjects::collections::CollectionError));
+
+  static std::unique_ptr<TNode> insert_rec(std::unique_ptr<TNode> node,
+                                           int key, bool& added);
+  static std::unique_ptr<TNode> balance(std::unique_ptr<TNode> node);
+  static bool is_red(const TNode* n) {
+    return n != nullptr && n->color == Color::Red;
+  }
+  static void collect(const TNode* n, std::vector<int>& out);
+  static int check_rec(const TNode* n);
+  static int height_rec(const TNode* n);
+
+  std::unique_ptr<TNode> root_;
+  int size_ = 0;
+};
+
+}  // namespace subjects::collections
+
+FAT_REFLECT(subjects::collections::TNode,
+            FAT_FIELD(subjects::collections::TNode, key),
+            FAT_FIELD(subjects::collections::TNode, color),
+            FAT_FIELD(subjects::collections::TNode, left),
+            FAT_FIELD(subjects::collections::TNode, right));
+
+FAT_REFLECT(subjects::collections::RBTree,
+            FAT_FIELD(subjects::collections::RBTree, root_),
+            FAT_FIELD(subjects::collections::RBTree, size_));

@@ -1,0 +1,66 @@
+#include "subjects/net/transport.hpp"
+
+namespace subjects::net {
+
+void Channel::deliver(const std::string& msg) {
+  FAT_INVOKE(deliver, [&] {
+    if (closed_) throw NetError("channel closed");
+    inbox_.push_back(msg);
+    ++delivered_;
+  });
+}
+
+std::string Channel::take() {
+  return FAT_INVOKE(take, [&] {
+    if (inbox_.empty()) throw NetError("channel empty");
+    std::string msg = std::move(inbox_.front());
+    inbox_.pop_front();
+    return msg;
+  });
+}
+
+void Channel::close() {
+  FAT_INVOKE(close, [&] { closed_ = true; });
+}
+
+void Transport::open(const std::string& endpoint) {
+  FAT_INVOKE(open, [&] {
+    if (channels_.count(endpoint)) throw NetError("endpoint exists");
+    channels_.emplace(endpoint, std::make_unique<Channel>());
+  });
+}
+
+Channel& Transport::channel(const std::string& endpoint) {
+  auto it = channels_.find(endpoint);
+  if (it == channels_.end()) throw NetError("unknown endpoint: " + endpoint);
+  return *it->second;
+}
+
+void Transport::send(const std::string& endpoint, const std::string& msg) {
+  FAT_INVOKE(send, [&] {
+    Channel& ch = channel(endpoint);  // may throw before any mutation
+    ch.deliver(msg);                  // the fallible step ...
+    ++sent_;                          // ... counted only afterwards
+  });
+}
+
+std::string Transport::recv(const std::string& endpoint) {
+  return FAT_INVOKE(recv, [&] { return channel(endpoint).take(); });
+}
+
+void Transport::broadcast(const std::string& msg) {
+  FAT_INVOKE(broadcast, [&] {
+    for (auto& [name, ch] : channels_) {
+      ch->deliver(msg);  // partial delivery on failure
+      ++sent_;
+    }
+  });
+}
+
+void Transport::close_all() {
+  FAT_INVOKE(close_all, [&] {
+    for (auto& [name, ch] : channels_) ch->close();  // partial on failure
+  });
+}
+
+}  // namespace subjects::net

@@ -1,0 +1,101 @@
+// In-memory message transport — the substitute for the TCP substrate of the
+// paper's xml2Ctcp application (DESIGN.md substitution table): same code
+// path (endpoint resolution, delivery queues, failure on unknown peers)
+// without real sockets.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+
+namespace subjects::net {
+
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+  NetError() : std::runtime_error("network error") {}
+};
+
+/// One endpoint's delivery queue.
+class Channel {
+ public:
+  Channel() { FAT_CTOR_ENTRY(); }
+
+  int pending() const { return static_cast<int>(inbox_.size()); }
+  int delivered() const { return delivered_; }
+  bool closed() const { return closed_; }
+
+  /// Enqueues a message; throws NetError when the channel is closed.
+  void deliver(const std::string& msg);
+  /// Dequeues the oldest message; throws NetError when empty.
+  std::string take();
+  void close();
+
+ private:
+  FAT_REFLECT_FRIEND(Channel);
+  FAT_CTOR_INFO(subjects::net::Channel);
+  FAT_METHOD_INFO(subjects::net::Channel, deliver,
+                  FAT_THROWS(subjects::net::NetError));
+  FAT_METHOD_INFO(subjects::net::Channel, take,
+                  FAT_THROWS(subjects::net::NetError));
+  FAT_METHOD_INFO(subjects::net::Channel, close);
+
+  std::deque<std::string> inbox_;
+  int delivered_ = 0;
+  bool closed_ = false;
+};
+
+class Transport {
+ public:
+  Transport() { FAT_CTOR_ENTRY(); }
+
+  int endpoints() const { return static_cast<int>(channels_.size()); }
+  int sent() const { return sent_; }
+
+  /// Registers an endpoint; throws NetError when it already exists.
+  void open(const std::string& endpoint);
+  /// Channel of an endpoint; throws NetError when unknown.
+  Channel& channel(const std::string& endpoint);
+  /// Sends msg to endpoint (careful style: resolve + deliver first, count
+  /// last — failure atomic).
+  void send(const std::string& endpoint, const std::string& msg);
+  /// Receives the oldest message from an endpoint.
+  std::string recv(const std::string& endpoint);
+  /// Sends msg to every endpoint — rare maintenance operation, incremental
+  /// and pure failure non-atomic.
+  void broadcast(const std::string& msg);
+  void close_all();
+
+ private:
+  FAT_REFLECT_FRIEND(Transport);
+  FAT_CTOR_INFO(subjects::net::Transport);
+  FAT_METHOD_INFO(subjects::net::Transport, open,
+                  FAT_THROWS(subjects::net::NetError));
+  FAT_METHOD_INFO(subjects::net::Transport, send,
+                  FAT_THROWS(subjects::net::NetError));
+  FAT_METHOD_INFO(subjects::net::Transport, recv,
+                  FAT_THROWS(subjects::net::NetError));
+  FAT_METHOD_INFO(subjects::net::Transport, broadcast,
+                  FAT_THROWS(subjects::net::NetError));
+  FAT_METHOD_INFO(subjects::net::Transport, close_all);
+
+  std::map<std::string, std::unique_ptr<Channel>> channels_;
+  int sent_ = 0;
+};
+
+}  // namespace subjects::net
+
+FAT_REFLECT(subjects::net::Channel,
+            FAT_FIELD(subjects::net::Channel, inbox_),
+            FAT_FIELD(subjects::net::Channel, delivered_),
+            FAT_FIELD(subjects::net::Channel, closed_));
+
+FAT_REFLECT(subjects::net::Transport,
+            FAT_FIELD(subjects::net::Transport, channels_),
+            FAT_FIELD(subjects::net::Transport, sent_));

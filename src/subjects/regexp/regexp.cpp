@@ -1,0 +1,304 @@
+#include "subjects/regexp/regexp.hpp"
+
+namespace subjects::regexp {
+
+// ---- parser ------------------------------------------------------------------
+
+int Regexp::add_node(RNode n) {
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Regexp::parse_alt(const std::string& p, std::size_t& i) {
+  int left = parse_concat(p, i);
+  while (i < p.size() && p[i] == '|') {
+    ++i;
+    int right = parse_concat(p, i);
+    RNode n;
+    n.kind = RKind::Alt;
+    n.a = left;
+    n.b = right;
+    left = add_node(n);
+  }
+  return left;
+}
+
+int Regexp::parse_concat(const std::string& p, std::size_t& i) {
+  int left = -1;
+  while (i < p.size() && p[i] != '|' && p[i] != ')') {
+    int right = parse_repeat(p, i);
+    if (left < 0) {
+      left = right;
+    } else {
+      RNode n;
+      n.kind = RKind::Concat;
+      n.a = left;
+      n.b = right;
+      left = add_node(n);
+    }
+  }
+  if (left < 0) {
+    RNode n;
+    n.kind = RKind::Empty;
+    left = add_node(n);
+  }
+  return left;
+}
+
+int Regexp::parse_repeat(const std::string& p, std::size_t& i) {
+  int atom = parse_atom(p, i);
+  while (i < p.size() && (p[i] == '*' || p[i] == '+' || p[i] == '?')) {
+    RNode n;
+    n.kind = p[i] == '*'   ? RKind::Star
+             : p[i] == '+' ? RKind::Plus
+                           : RKind::Opt;
+    n.a = atom;
+    atom = add_node(n);
+    ++i;
+  }
+  return atom;
+}
+
+int Regexp::parse_atom(const std::string& p, std::size_t& i) {
+  if (i >= p.size()) throw RegexError("unexpected end of pattern");
+  RNode n;
+  switch (p[i]) {
+    case '(': {
+      ++i;
+      int inner = parse_alt(p, i);
+      if (i >= p.size() || p[i] != ')') throw RegexError("missing ')'");
+      ++i;
+      return inner;
+    }
+    case '[': {
+      ++i;
+      n.kind = RKind::Class;
+      if (i < p.size() && p[i] == '^') {
+        n.negate = true;
+        ++i;
+      }
+      while (i < p.size() && p[i] != ']') {
+        char lo = p[i];
+        if (lo == '\\' && i + 1 < p.size()) {
+          lo = p[++i];
+        }
+        if (i + 2 < p.size() && p[i + 1] == '-' && p[i + 2] != ']') {
+          const char hi = p[i + 2];
+          if (hi < lo) throw RegexError("bad character range");
+          for (char c = lo; c <= hi; ++c) n.set.push_back(c);
+          i += 3;
+        } else {
+          n.set.push_back(lo);
+          ++i;
+        }
+      }
+      if (i >= p.size()) throw RegexError("missing ']'");
+      ++i;
+      return add_node(n);
+    }
+    case '.':
+      ++i;
+      n.kind = RKind::Any;
+      return add_node(n);
+    case '^':
+      ++i;
+      n.kind = RKind::Bol;
+      return add_node(n);
+    case '$':
+      ++i;
+      n.kind = RKind::Eol;
+      return add_node(n);
+    case '*':
+    case '+':
+    case '?':
+      throw RegexError("quantifier without operand");
+    case ')':
+      throw RegexError("unmatched ')'");
+    case '\\':
+      if (i + 1 >= p.size()) throw RegexError("trailing backslash");
+      ++i;
+      [[fallthrough]];
+    default:
+      n.kind = RKind::Char;
+      n.ch = p[i];
+      ++i;
+      return add_node(n);
+  }
+}
+
+// ---- matcher -----------------------------------------------------------------
+
+bool Regexp::match_node(int idx, const std::string& text, std::size_t pos,
+                        const std::function<bool(std::size_t)>& k) const {
+  const RNode& n = nodes_[static_cast<std::size_t>(idx)];
+  switch (n.kind) {
+    case RKind::Empty:
+      return k(pos);
+    case RKind::Char:
+      return pos < text.size() && text[pos] == n.ch && k(pos + 1);
+    case RKind::Any:
+      return pos < text.size() && k(pos + 1);
+    case RKind::Class: {
+      if (pos >= text.size()) return false;
+      const bool in = n.set.find(text[pos]) != std::string::npos;
+      return in != n.negate && k(pos + 1);
+    }
+    case RKind::Bol:
+      return pos == 0 && k(pos);
+    case RKind::Eol:
+      return pos == text.size() && k(pos);
+    case RKind::Concat:
+      return match_node(
+          n.a, text, pos,
+          [&](std::size_t p) { return match_node(n.b, text, p, k); });
+    case RKind::Alt:
+      return match_node(n.a, text, pos, k) || match_node(n.b, text, pos, k);
+    case RKind::Opt:
+      return match_node(n.a, text, pos, k) || k(pos);
+    case RKind::Plus:
+      // a+ == a a*, greedy like Star: try further iterations before the
+      // continuation so the longest match is reported first.
+      return match_node(n.a, text, pos, [&](std::size_t p) {
+        std::function<bool(std::size_t)> rep = [&](std::size_t q) -> bool {
+          if (match_node(n.a, text, q, [&](std::size_t r) {
+                return r > q && rep(r);  // forbid empty iterations
+              }))
+            return true;
+          return k(q);
+        };
+        return rep(p);
+      });
+    case RKind::Star: {
+      std::function<bool(std::size_t)> rep = [&](std::size_t q) -> bool {
+        // Greedy: try one more iteration first, then the continuation.
+        if (match_node(n.a, text, q,
+                       [&](std::size_t r) { return r > q && rep(r); }))
+          return true;
+        return k(q);
+      };
+      return rep(pos);
+    }
+  }
+  return false;
+}
+
+bool Regexp::match_at(const std::string& text, std::size_t start,
+                      std::size_t& end_out) const {
+  bool ok = false;
+  std::size_t end = 0;
+  match_node(root_, text, start, [&](std::size_t p) {
+    ok = true;
+    end = p;
+    return true;
+  });
+  if (ok) end_out = end;
+  return ok;
+}
+
+// ---- instrumented API ----------------------------------------------------------
+
+void Regexp::compile(const std::string& pattern) {
+  FAT_INVOKE(compile, [&] {
+    pattern_ = pattern;  // BUG: object mutated before the fallible steps
+    nodes_.clear();
+    root_ = -1;
+    std::size_t i = 0;
+    int root = parse_alt(pattern, i);
+    if (i != pattern.size()) throw RegexError("trailing characters");
+    root_ = root;
+    check_program();  // fallible post-compile audit (legacy order)
+    reset();
+  });
+}
+
+bool Regexp::matches(const std::string& text) {
+  return FAT_INVOKE(matches, [&] {
+    if (!compiled()) throw RegexError("not compiled");
+    return match_node(root_, text, 0,
+                      [&](std::size_t p) { return p == text.size(); });
+  });
+}
+
+bool Regexp::find(const std::string& text, int from) {
+  return FAT_INVOKE(find, [&] {
+    if (!compiled()) throw RegexError("not compiled");
+    for (std::size_t s = static_cast<std::size_t>(from); s <= text.size();
+         ++s) {
+      std::size_t end = 0;
+      if (match_at(text, s, end)) {
+        last_start_ = static_cast<int>(s);
+        last_end_ = static_cast<int>(end);
+        ++match_count_;
+        return true;
+      }
+    }
+    return false;
+  });
+}
+
+int Regexp::count_matches(const std::string& text) {
+  return FAT_INVOKE(count_matches, [&] {
+    if (!compiled()) throw RegexError("not compiled");
+    reset();
+    int from = 0;
+    int count = 0;
+    while (find(text, from)) {  // partial state updates on failure
+      ++count;
+      from = last_end_ > last_start_ ? last_end_ : last_start_ + 1;
+      if (from > static_cast<int>(text.size())) break;
+    }
+    return count;
+  });
+}
+
+std::string Regexp::replace_all(const std::string& text,
+                                const std::string& repl) {
+  return FAT_INVOKE(replace_all, [&] {
+    if (!compiled()) throw RegexError("not compiled");
+    std::string out;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+      std::size_t end = 0;
+      if (match_at(text, pos, end)) {
+        out += repl;
+        if (end == pos) {
+          if (pos < text.size()) out += text[pos];
+          ++pos;
+        } else {
+          pos = end;
+        }
+      } else {
+        if (pos < text.size()) out += text[pos];
+        ++pos;
+      }
+    }
+    return out;
+  });
+}
+
+void Regexp::reset() {
+  FAT_INVOKE(reset, [&] {
+    last_start_ = -1;
+    last_end_ = -1;
+    match_count_ = 0;
+  });
+}
+
+void Regexp::check_program() {
+  FAT_INVOKE(check_program, [&] {
+    if (root_ < 0 || root_ >= node_count())
+      throw RegexError("bad program root");
+    for (const RNode& n : nodes_) {
+      if (n.a >= node_count() || n.b >= node_count())
+        throw RegexError("bad child index");
+      const bool needs_a = n.kind == RKind::Concat || n.kind == RKind::Alt ||
+                           n.kind == RKind::Star || n.kind == RKind::Plus ||
+                           n.kind == RKind::Opt;
+      if (needs_a && n.a < 0) throw RegexError("missing operand");
+      if ((n.kind == RKind::Concat || n.kind == RKind::Alt) && n.b < 0)
+        throw RegexError("missing operand");
+    }
+  });
+}
+
+}  // namespace subjects::regexp

@@ -1,0 +1,138 @@
+// Regexp — a backtracking regular-expression engine (port of the Jakarta
+// RegExp subject).  Supported syntax: literals, '.', character classes
+// [abc] / [a-z] / [^...], quantifiers '*' '+' '?', alternation '|',
+// grouping '(...)', anchors '^' and '$', and '\\' escapes.
+//
+// The AST is stored index-based in a vector (snapshot-friendly: no pointer
+// graph).  Like Java's Matcher, a Regexp object carries mutable match state
+// (last_start/last_end/match_count), which is what makes some of its methods
+// failure non-atomic under injection.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+
+namespace subjects::regexp {
+
+class RegexError : public std::runtime_error {
+ public:
+  RegexError() : std::runtime_error("regex error") {}
+  explicit RegexError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class RKind : std::uint8_t {
+  Empty,     ///< matches the empty string
+  Char,      ///< literal character `ch`
+  Any,       ///< '.'
+  Class,     ///< [set]; negated when `negate`
+  Star,      ///< a*
+  Plus,      ///< a+
+  Opt,       ///< a?
+  Concat,    ///< ab
+  Alt,       ///< a|b
+  Bol,       ///< '^'
+  Eol,       ///< '$'
+};
+
+struct RNode {
+  RKind kind = RKind::Empty;
+  char ch = 0;
+  std::string set;
+  bool negate = false;
+  int a = -1;  ///< first child (index into the node table)
+  int b = -1;  ///< second child
+};
+
+class Regexp {
+ public:
+  Regexp() { FAT_CTOR_ENTRY(); }
+
+  const std::string& pattern() const { return pattern_; }
+  bool compiled() const { return root_ >= 0; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int match_count() const { return match_count_; }
+  int last_start() const { return last_start_; }
+  int last_end() const { return last_end_; }
+
+  /// Compiles `pattern`; throws RegexError on syntax errors.  Legacy order:
+  /// the object is mutated before the fallible post-compile check.
+  void compile(const std::string& pattern);
+  /// True when the whole text matches; throws RegexError if not compiled.
+  bool matches(const std::string& text);
+  /// Finds the first match at or after `from`; updates last_start/last_end
+  /// and match_count; returns false when no match exists.
+  bool find(const std::string& text, int from);
+  /// Counts all (non-overlapping) matches, updating the match state as it
+  /// scans (partial progress on failure).
+  int count_matches(const std::string& text);
+  /// Replaces every match with `repl`; returns the rewritten text.
+  std::string replace_all(const std::string& text, const std::string& repl);
+  /// Resets the match state.
+  void reset();
+  /// Post-compile sanity check on the node table; throws RegexError.
+  void check_program();
+
+ private:
+  FAT_REFLECT_FRIEND(Regexp);
+  FAT_CTOR_INFO(subjects::regexp::Regexp);
+  FAT_METHOD_INFO(subjects::regexp::Regexp, compile,
+                  FAT_THROWS(subjects::regexp::RegexError));
+  FAT_METHOD_INFO(subjects::regexp::Regexp, matches,
+                  FAT_THROWS(subjects::regexp::RegexError));
+  FAT_METHOD_INFO(subjects::regexp::Regexp, find,
+                  FAT_THROWS(subjects::regexp::RegexError));
+  FAT_METHOD_INFO(subjects::regexp::Regexp, count_matches,
+                  FAT_THROWS(subjects::regexp::RegexError));
+  FAT_METHOD_INFO(subjects::regexp::Regexp, replace_all,
+                  FAT_THROWS(subjects::regexp::RegexError));
+  FAT_METHOD_INFO(subjects::regexp::Regexp, reset);
+  FAT_METHOD_INFO(subjects::regexp::Regexp, check_program,
+                  FAT_THROWS(subjects::regexp::RegexError));
+
+  // Recursive-descent parser over pattern_ (uninstrumented internals).
+  int parse_alt(const std::string& p, std::size_t& i);
+  int parse_concat(const std::string& p, std::size_t& i);
+  int parse_repeat(const std::string& p, std::size_t& i);
+  int parse_atom(const std::string& p, std::size_t& i);
+  int add_node(RNode n);
+
+  /// Backtracking matcher: can node `idx` starting at `pos` match such that
+  /// the continuation accepts the end position?
+  bool match_node(int idx, const std::string& text, std::size_t pos,
+                  const std::function<bool(std::size_t)>& k) const;
+  /// Tries to match the whole program at position `start`; on success
+  /// reports the end via `end_out` (leftmost-longest not guaranteed;
+  /// backtracking-first semantics like the Java original).
+  bool match_at(const std::string& text, std::size_t start,
+                std::size_t& end_out) const;
+
+  std::string pattern_;
+  std::vector<RNode> nodes_;
+  int root_ = -1;
+  int last_start_ = -1;
+  int last_end_ = -1;
+  int match_count_ = 0;
+};
+
+}  // namespace subjects::regexp
+
+FAT_REFLECT(subjects::regexp::RNode,
+            FAT_FIELD(subjects::regexp::RNode, kind),
+            FAT_FIELD(subjects::regexp::RNode, ch),
+            FAT_FIELD(subjects::regexp::RNode, set),
+            FAT_FIELD(subjects::regexp::RNode, negate),
+            FAT_FIELD(subjects::regexp::RNode, a),
+            FAT_FIELD(subjects::regexp::RNode, b));
+
+FAT_REFLECT(subjects::regexp::Regexp,
+            FAT_FIELD(subjects::regexp::Regexp, pattern_),
+            FAT_FIELD(subjects::regexp::Regexp, nodes_),
+            FAT_FIELD(subjects::regexp::Regexp, root_),
+            FAT_FIELD(subjects::regexp::Regexp, last_start_),
+            FAT_FIELD(subjects::regexp::Regexp, last_end_),
+            FAT_FIELD(subjects::regexp::Regexp, match_count_));

@@ -1,0 +1,169 @@
+#include "subjects/selfstar/selfstar.hpp"
+
+#include <cctype>
+
+#include "fatomic/snapshot/restore.hpp"  // FAT_POLY
+
+namespace subjects::selfstar {
+
+FAT_POLY(Component, UppercaseAdaptor);
+FAT_POLY(Component, TagAdaptor);
+FAT_POLY(Component, FilterAdaptor);
+FAT_POLY(Component, CollectorSink);
+
+bool UppercaseAdaptor::handle(Message& m) {
+  return FAT_INVOKE_ARGS(handle, std::tie(m), [&] {
+    for (char& c : m.payload) c = static_cast<char>(std::toupper(
+                                  static_cast<unsigned char>(c)));
+    ++m.hops;
+    return true;
+  });
+}
+
+bool TagAdaptor::handle(Message& m) {
+  return FAT_INVOKE_ARGS(handle, std::tie(m), [&] {
+    m.topic = prefix_ + m.topic;
+    ++m.hops;
+    return true;
+  });
+}
+
+bool FilterAdaptor::handle(Message& m) {
+  return FAT_INVOKE_ARGS(handle, std::tie(m), [&] {
+    ++m.hops;
+    return m.payload.find(needle_) == std::string::npos;
+  });
+}
+
+bool CollectorSink::handle(Message& m) {
+  return FAT_INVOKE_ARGS(handle, std::tie(m), [&] {
+    ++m.hops;
+    collected_.push_back(m.payload);  // single commit step
+    return true;
+  });
+}
+
+void AdaptorChain::add(std::unique_ptr<Component> c) {
+  FAT_INVOKE(add, [&] { components_.push_back(std::move(c)); });
+}
+
+bool AdaptorChain::process(Message& m) {
+  return FAT_INVOKE_ARGS(process, std::tie(m), [&] {
+    // Careful Self* style: transform a local copy, commit at the end.
+    Message work = m;
+    for (const auto& c : components_) {
+      if (!c->handle(work)) return false;  // dropped: m left untouched
+    }
+    m = work;  // single commit step
+    return true;
+  });
+}
+
+int AdaptorChain::process_all(std::vector<Message>& batch) {
+  return FAT_INVOKE_ARGS(process_all, std::tie(batch), [&] {
+    int survivors = 0;
+    for (Message& m : batch)
+      if (process(m)) ++survivors;  // partial processing on failure
+    return survivors;
+  });
+}
+
+void AdaptorChain::reconfigure(const std::vector<std::string>& kinds) {
+  FAT_INVOKE(reconfigure, [&] {
+    // Rare maintenance operation: tears down, then rebuilds step by step.
+    clear();
+    for (const std::string& k : kinds) {
+      if (k == "uppercase")
+        add(std::make_unique<UppercaseAdaptor>());
+      else if (k == "collector")
+        add(std::make_unique<CollectorSink>());
+      else if (k.rfind("tag:", 0) == 0)
+        add(std::make_unique<TagAdaptor>(k.substr(4)));
+      else if (k.rfind("filter:", 0) == 0)
+        add(std::make_unique<FilterAdaptor>(k.substr(7)));
+      else
+        throw SelfStarError("unknown component kind: " + k);
+    }
+  });
+}
+
+void AdaptorChain::clear() {
+  FAT_INVOKE(clear, [&] { components_.clear(); });
+}
+
+void EventQueue::enqueue(const Message& m) {
+  FAT_INVOKE(enqueue, [&] {
+    if (size() >= kCapacity) throw SelfStarError("queue full");
+    queue_.push_back(m);
+  });
+}
+
+Message EventQueue::dequeue() {
+  return FAT_INVOKE(dequeue, [&] {
+    if (queue_.empty()) throw SelfStarError("queue empty");
+    Message m = queue_.front();
+    queue_.pop_front();
+    return m;
+  });
+}
+
+int EventQueue::pump(AdaptorChain& chain) {
+  return FAT_INVOKE_ARGS(pump, std::tie(chain), [&] {
+    int survivors = 0;
+    while (!empty()) {
+      Message m = dequeue();      // the message is gone if the next ...
+      if (chain.process(m)) ++survivors;  // ... step fails (legacy pump)
+      ++processed_;
+    }
+    return survivors;
+  });
+}
+
+void EventQueue::drain_to(EventQueue& other) {
+  FAT_INVOKE_ARGS(drain_to, std::tie(other), [&] {
+    while (!empty()) other.enqueue(dequeue());  // partial on failure
+  });
+}
+
+void EventQueue::clear() {
+  FAT_INVOKE(clear, [&] { queue_.clear(); });
+}
+
+std::unique_ptr<Component> ComponentFactory::build(const std::string& kind,
+                                                   const std::string& arg) {
+  return FAT_INVOKE(build, [&]() -> std::unique_ptr<Component> {
+    std::unique_ptr<Component> c;
+    if (kind == "uppercase")
+      c = std::make_unique<UppercaseAdaptor>();
+    else if (kind == "tag")
+      c = std::make_unique<TagAdaptor>(arg);
+    else if (kind == "filter")
+      c = std::make_unique<FilterAdaptor>(arg);
+    else if (kind == "collector")
+      c = std::make_unique<CollectorSink>();
+    else
+      throw SelfStarError("unknown component kind: " + kind);
+    ++built_;  // counted after construction succeeded
+    return c;
+  });
+}
+
+int ComponentFactory::assemble(subjects::xml::XmlDocument& doc,
+                               AdaptorChain& chain) {
+  return FAT_INVOKE_ARGS(assemble, std::tie(chain), [&] {
+    int added = 0;
+    const subjects::xml::XmlNode* root = doc.root();
+    if (root == nullptr) throw SelfStarError("empty configuration");
+    for (const auto& child : root->children) {
+      if (child->name != "component") continue;
+      const std::string* kind = child->attr("kind");
+      if (kind == nullptr) throw SelfStarError("component without kind");
+      const std::string* arg = child->attr("arg");
+      chain.add(build(*kind, arg ? *arg : ""));  // partial assembly on failure
+      ++added;
+    }
+    return added;
+  });
+}
+
+}  // namespace subjects::selfstar

@@ -1,0 +1,229 @@
+// Self* — a data-flow component framework, the substitute for the paper's
+// (unreleased) Self* substrate.  Messages flow through chains of adaptors;
+// chains are assembled programmatically or from XML configuration by the
+// ComponentFactory.  The framework is written in the careful style the
+// paper's C++ numbers reflect: transformations are stateless or commit at
+// the end, so the overwhelming majority of methods is failure atomic; the
+// rare maintenance/assembly operations are the incremental, pure failure
+// non-atomic ones.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/xml/xml.hpp"
+
+namespace subjects::selfstar {
+
+class SelfStarError : public std::runtime_error {
+ public:
+  SelfStarError() : std::runtime_error("selfstar error") {}
+  explicit SelfStarError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct Message {
+  std::string topic;
+  std::string payload;
+  int hops = 0;
+};
+
+/// Data-flow component: transforms a message in place; returns false to
+/// drop it.  Concrete components register with FAT_POLY so chains can be
+/// checkpointed through Component pointers.
+class Component {
+ public:
+  virtual ~Component() = default;
+  virtual bool handle(Message& m) = 0;
+  virtual std::string kind() const = 0;
+};
+
+/// Uppercases the payload (stateless).
+class UppercaseAdaptor : public Component {
+ public:
+  UppercaseAdaptor() { FAT_CTOR_ENTRY(); }
+  bool handle(Message& m) override;
+  std::string kind() const override { return "uppercase"; }
+
+ private:
+  FAT_REFLECT_FRIEND(UppercaseAdaptor);
+  FAT_CTOR_INFO(subjects::selfstar::UppercaseAdaptor);
+  FAT_METHOD_INFO(subjects::selfstar::UppercaseAdaptor, handle);
+};
+
+/// Prefixes the topic (configured, immutable after construction).
+class TagAdaptor : public Component {
+ public:
+  TagAdaptor() { FAT_CTOR_ENTRY(); }
+  explicit TagAdaptor(std::string prefix) : prefix_(std::move(prefix)) {
+    FAT_CTOR_ENTRY();
+  }
+  bool handle(Message& m) override;
+  std::string kind() const override { return "tag"; }
+
+ private:
+  FAT_REFLECT_FRIEND(TagAdaptor);
+  FAT_CTOR_INFO(subjects::selfstar::TagAdaptor);
+  FAT_METHOD_INFO(subjects::selfstar::TagAdaptor, handle);
+
+  std::string prefix_;
+};
+
+/// Drops messages whose payload contains the configured needle (stateless).
+class FilterAdaptor : public Component {
+ public:
+  FilterAdaptor() { FAT_CTOR_ENTRY(); }
+  explicit FilterAdaptor(std::string needle) : needle_(std::move(needle)) {
+    FAT_CTOR_ENTRY();
+  }
+  bool handle(Message& m) override;
+  std::string kind() const override { return "filter"; }
+
+ private:
+  FAT_REFLECT_FRIEND(FilterAdaptor);
+  FAT_CTOR_INFO(subjects::selfstar::FilterAdaptor);
+  FAT_METHOD_INFO(subjects::selfstar::FilterAdaptor, handle);
+
+  std::string needle_;
+};
+
+/// Terminal sink: collects payloads (single mutation at the very end of the
+/// pipeline — still failure atomic).
+class CollectorSink : public Component {
+ public:
+  CollectorSink() { FAT_CTOR_ENTRY(); }
+  bool handle(Message& m) override;
+  std::string kind() const override { return "collector"; }
+  const std::vector<std::string>& collected() const { return collected_; }
+
+ private:
+  FAT_REFLECT_FRIEND(CollectorSink);
+  FAT_CTOR_INFO(subjects::selfstar::CollectorSink);
+  FAT_METHOD_INFO(subjects::selfstar::CollectorSink, handle);
+
+  std::vector<std::string> collected_;
+};
+
+/// A linear pipeline of components.
+class AdaptorChain {
+ public:
+  AdaptorChain() { FAT_CTOR_ENTRY(); }
+
+  int length() const { return static_cast<int>(components_.size()); }
+  Component* component(int i) { return components_[static_cast<std::size_t>(i)].get(); }
+
+  /// Appends a component (single commit step).
+  void add(std::unique_ptr<Component> c);
+  /// Runs `m` through the chain; returns false when a component dropped it.
+  /// Careful style: works on a local copy and commits the result at the end.
+  bool process(Message& m);
+  /// Processes a batch, returning the number of surviving messages
+  /// (incremental: partial processing on failure).
+  int process_all(std::vector<Message>& batch);
+  /// Tears down and rebuilds the chain from `kinds` — the rare maintenance
+  /// operation (incremental, pure failure non-atomic).
+  void reconfigure(const std::vector<std::string>& kinds);
+  void clear();
+
+ private:
+  FAT_REFLECT_FRIEND(AdaptorChain);
+  FAT_CTOR_INFO(subjects::selfstar::AdaptorChain);
+  FAT_METHOD_INFO(subjects::selfstar::AdaptorChain, add);
+  FAT_METHOD_INFO(subjects::selfstar::AdaptorChain, process);
+  FAT_METHOD_INFO(subjects::selfstar::AdaptorChain, process_all);
+  FAT_METHOD_INFO(subjects::selfstar::AdaptorChain, reconfigure,
+                  FAT_THROWS(subjects::selfstar::SelfStarError));
+  FAT_METHOD_INFO(subjects::selfstar::AdaptorChain, clear);
+
+  std::vector<std::unique_ptr<Component>> components_;
+};
+
+/// Bounded FIFO of messages — the stdQ application's queue.
+class EventQueue {
+ public:
+  EventQueue() { FAT_CTOR_ENTRY(); }
+
+  int size() const { return static_cast<int>(queue_.size()); }
+  bool empty() const { return queue_.empty(); }
+  int processed() const { return processed_; }
+
+  /// Enqueues; throws SelfStarError when the queue is full.
+  void enqueue(const Message& m);
+  /// Dequeues the oldest message; throws SelfStarError when empty.
+  Message dequeue();
+  /// Drains this queue through a chain, counting survivors (incremental:
+  /// partial draining on failure).
+  int pump(AdaptorChain& chain);
+  /// Moves everything into `other` (incremental, pure failure non-atomic).
+  void drain_to(EventQueue& other);
+  void clear();
+
+  static constexpr int kCapacity = 256;
+
+ private:
+  FAT_REFLECT_FRIEND(EventQueue);
+  FAT_CTOR_INFO(subjects::selfstar::EventQueue);
+  FAT_METHOD_INFO(subjects::selfstar::EventQueue, enqueue,
+                  FAT_THROWS(subjects::selfstar::SelfStarError));
+  FAT_METHOD_INFO(subjects::selfstar::EventQueue, dequeue,
+                  FAT_THROWS(subjects::selfstar::SelfStarError));
+  FAT_METHOD_INFO(subjects::selfstar::EventQueue, pump);
+  FAT_METHOD_INFO(subjects::selfstar::EventQueue, drain_to);
+  FAT_METHOD_INFO(subjects::selfstar::EventQueue, clear);
+
+  std::deque<Message> queue_;
+  int processed_ = 0;
+};
+
+/// Builds components and chains from XML configuration — the assembly
+/// substrate of the xml2C* applications.
+class ComponentFactory {
+ public:
+  ComponentFactory() { FAT_CTOR_ENTRY(); }
+
+  int built() const { return built_; }
+
+  /// Creates a component by kind; throws SelfStarError for unknown kinds.
+  std::unique_ptr<Component> build(const std::string& kind,
+                                   const std::string& arg);
+  /// Appends one component per <component kind="..."> element of the
+  /// document to `chain` (incremental assembly: partial on failure).
+  int assemble(subjects::xml::XmlDocument& doc, AdaptorChain& chain);
+
+ private:
+  FAT_REFLECT_FRIEND(ComponentFactory);
+  FAT_CTOR_INFO(subjects::selfstar::ComponentFactory);
+  FAT_METHOD_INFO(subjects::selfstar::ComponentFactory, build,
+                  FAT_THROWS(subjects::selfstar::SelfStarError));
+  FAT_METHOD_INFO(subjects::selfstar::ComponentFactory, assemble,
+                  FAT_THROWS(subjects::selfstar::SelfStarError));
+
+  int built_ = 0;
+};
+
+}  // namespace subjects::selfstar
+
+FAT_REFLECT(subjects::selfstar::Message,
+            FAT_FIELD(subjects::selfstar::Message, topic),
+            FAT_FIELD(subjects::selfstar::Message, payload),
+            FAT_FIELD(subjects::selfstar::Message, hops));
+
+FAT_REFLECT_EMPTY(subjects::selfstar::UppercaseAdaptor);
+FAT_REFLECT(subjects::selfstar::TagAdaptor,
+            FAT_FIELD(subjects::selfstar::TagAdaptor, prefix_));
+FAT_REFLECT(subjects::selfstar::FilterAdaptor,
+            FAT_FIELD(subjects::selfstar::FilterAdaptor, needle_));
+FAT_REFLECT(subjects::selfstar::CollectorSink,
+            FAT_FIELD(subjects::selfstar::CollectorSink, collected_));
+FAT_REFLECT(subjects::selfstar::AdaptorChain,
+            FAT_FIELD(subjects::selfstar::AdaptorChain, components_));
+FAT_REFLECT(subjects::selfstar::EventQueue,
+            FAT_FIELD(subjects::selfstar::EventQueue, queue_),
+            FAT_FIELD(subjects::selfstar::EventQueue, processed_));
+FAT_REFLECT(subjects::selfstar::ComponentFactory,
+            FAT_FIELD(subjects::selfstar::ComponentFactory, built_));

@@ -1,0 +1,308 @@
+#include "subjects/xml/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace subjects::xml {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : src_(src) {}
+
+  std::unique_ptr<XmlNode> parse_document() {
+    skip_ws();
+    std::unique_ptr<XmlNode> root = parse_element();
+    skip_ws();
+    if (pos_ != src_.size()) throw XmlError("trailing content after root");
+    return root;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw XmlError(why + " at offset " + std::to_string(pos_));
+  }
+
+  char peek() {
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    return src_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_' || src_[pos_] == '-' || src_[pos_] == ':'))
+      name.push_back(src_[pos_++]);
+    if (name.empty()) fail("expected a name");
+    return name;
+  }
+
+  std::string decode(const std::string& raw) {
+    std::string out;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      if (raw.compare(i, 4, "&lt;") == 0) {
+        out.push_back('<');
+        i += 3;
+      } else if (raw.compare(i, 4, "&gt;") == 0) {
+        out.push_back('>');
+        i += 3;
+      } else if (raw.compare(i, 5, "&amp;") == 0) {
+        out.push_back('&');
+        i += 4;
+      } else {
+        fail("unknown entity");
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<XmlNode> parse_element() {
+    expect('<');
+    auto node = std::make_unique<XmlNode>();
+    node->name = parse_name();
+    skip_ws();
+    while (peek() != '>' && peek() != '/') {
+      std::string key = parse_name();
+      skip_ws();
+      expect('=');
+      skip_ws();
+      expect('"');
+      std::string value;
+      while (peek() != '"') value.push_back(src_[pos_++]);
+      expect('"');
+      node->attrs.emplace_back(key, decode(value));
+      skip_ws();
+    }
+    if (peek() == '/') {
+      ++pos_;
+      expect('>');
+      return node;
+    }
+    expect('>');
+    // Content: interleaved text and child elements.
+    std::string text;
+    for (;;) {
+      if (pos_ >= src_.size()) fail("unterminated element");
+      if (src_[pos_] == '<') {
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') break;
+        node->children.push_back(parse_element());
+      } else {
+        text.push_back(src_[pos_++]);
+      }
+    }
+    expect('<');
+    expect('/');
+    std::string closing = parse_name();
+    if (closing != node->name) fail("mismatched closing tag");
+    skip_ws();
+    expect('>');
+    // Trim surrounding whitespace of text content.
+    const auto b = text.find_first_not_of(" \t\r\n");
+    if (b != std::string::npos) {
+      const auto e = text.find_last_not_of(" \t\r\n");
+      node->text = decode(text.substr(b, e - b + 1));
+    }
+    return node;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+std::string encode(const std::string& raw) {
+  std::string out;
+  for (char c : raw) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void write_rec(const XmlNode& n, std::ostringstream& os) {
+  os << '<' << n.name;
+  for (const auto& [k, v] : n.attrs) os << ' ' << k << "=\"" << encode(v) << '"';
+  if (n.children.empty() && n.text.empty()) {
+    os << "/>";
+    return;
+  }
+  os << '>';
+  os << encode(n.text);
+  for (const auto& c : n.children) write_rec(*c, os);
+  os << "</" << n.name << '>';
+}
+
+int count_rec(const XmlNode& n, const std::string& tag) {
+  int c = n.name == tag ? 1 : 0;
+  for (const auto& child : n.children) c += count_rec(*child, tag);
+  return c;
+}
+
+bool remove_first_rec(XmlNode& n, const std::string& tag) {
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    if (n.children[i]->name == tag) {
+      n.children.erase(n.children.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+    if (remove_first_rec(*n.children[i], tag)) return true;
+  }
+  return false;
+}
+
+void validate_rec(const XmlNode& n) {
+  if (n.name.empty()) throw XmlError("validate: empty element name");
+  for (const auto& c : n.children) {
+    if (c == nullptr) throw XmlError("validate: null child");
+    validate_rec(*c);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<XmlNode> parse_xml(const std::string& src) {
+  return Parser(src).parse_document();
+}
+
+std::string write_xml(const XmlNode& node) {
+  std::ostringstream os;
+  write_rec(node, os);
+  return os.str();
+}
+
+XmlNode* XmlDocument::find_first(XmlNode* n, const std::string& tag) {
+  if (n == nullptr) return nullptr;
+  if (n->name == tag) return n;
+  for (const auto& c : n->children)
+    if (XmlNode* hit = find_first(c.get(), tag)) return hit;
+  return nullptr;
+}
+
+void XmlDocument::parse(const std::string& src) {
+  FAT_INVOKE(parse, [&] {
+    std::unique_ptr<XmlNode> fresh = parse_xml(src);  // may throw
+    root_ = std::move(fresh);                         // single commit step
+  });
+}
+
+std::string XmlDocument::root_name() {
+  return FAT_INVOKE(root_name, [&] {
+    if (root_ == nullptr) throw XmlError("empty document");
+    return root_->name;
+  });
+}
+
+int XmlDocument::count(const std::string& tag) {
+  return FAT_INVOKE(count, [&] {
+    return root_ == nullptr ? 0 : count_rec(*root_, tag);
+  });
+}
+
+std::string XmlDocument::first_text(const std::string& tag) {
+  return FAT_INVOKE(first_text, [&] {
+    XmlNode* n = find_first(root_.get(), tag);
+    if (n == nullptr) throw XmlError("no such element: " + tag);
+    return n->text;
+  });
+}
+
+std::string XmlDocument::attribute(const std::string& tag,
+                                   const std::string& key) {
+  return FAT_INVOKE(attribute, [&] {
+    XmlNode* n = find_first(root_.get(), tag);
+    if (n == nullptr) throw XmlError("no such element: " + tag);
+    const std::string* v = n->attr(key);
+    if (v == nullptr) throw XmlError("no such attribute: " + key);
+    return *v;
+  });
+}
+
+void XmlDocument::add_child(const std::string& parent, const std::string& name,
+                            const std::string& text) {
+  FAT_INVOKE(add_child, [&] {
+    XmlNode* p = find_first(root_.get(), parent);
+    if (p == nullptr) throw XmlError("no such element: " + parent);
+    auto child = std::make_unique<XmlNode>();
+    child->name = name;
+    child->text = text;
+    p->children.push_back(std::move(child));  // single commit step
+  });
+}
+
+bool XmlDocument::remove_first(const std::string& tag) {
+  return FAT_INVOKE(remove_first, [&] {
+    if (root_ == nullptr) return false;
+    return remove_first_rec(*root_, tag);
+  });
+}
+
+int XmlDocument::remove_all(const std::string& tag) {
+  return FAT_INVOKE(remove_all, [&] {
+    int n = 0;
+    while (remove_first(tag)) ++n;  // incremental: partial on failure
+    return n;
+  });
+}
+
+bool XmlDocument::rename_first(const std::string& from, const std::string& to) {
+  return FAT_INVOKE(rename_first, [&] {
+    XmlNode* n = find_first(root_.get(), from);
+    if (n == nullptr) return false;
+    n->name = to;
+    return true;
+  });
+}
+
+int XmlDocument::rename_all(const std::string& from, const std::string& to) {
+  return FAT_INVOKE(rename_all, [&] {
+    int n = 0;
+    while (rename_first(from, to)) ++n;  // incremental: partial on failure
+    return n;
+  });
+}
+
+std::string XmlDocument::serialize() {
+  return FAT_INVOKE(serialize, [&] {
+    if (root_ == nullptr) throw XmlError("empty document");
+    return write_xml(*root_);
+  });
+}
+
+void XmlDocument::clear() {
+  FAT_INVOKE(clear, [&] { root_.reset(); });
+}
+
+void XmlDocument::validate() {
+  FAT_INVOKE(validate, [&] {
+    if (root_ == nullptr) throw XmlError("empty document");
+    validate_rec(*root_);
+  });
+}
+
+}  // namespace subjects::xml

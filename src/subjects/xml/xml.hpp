@@ -1,0 +1,121 @@
+// Minimal XML DOM — substrate for the paper's xml2* Self* applications.
+// Supports elements, attributes, text content, self-closing tags and the
+// three basic entities (&lt; &gt; &amp;).
+//
+// XmlDocument is written in the careful Self* style the paper's C++ results
+// reflect: parse builds into a temporary and commits with a single move, so
+// almost every method is failure atomic.  The rare maintenance operations
+// (remove_all, rename_all) are incremental and pure failure non-atomic —
+// and, as in the paper, rarely called.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+
+namespace subjects::xml {
+
+class XmlError : public std::runtime_error {
+ public:
+  XmlError() : std::runtime_error("xml error") {}
+  explicit XmlError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct XmlNode {
+  std::string name;
+  std::string text;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<std::unique_ptr<XmlNode>> children;
+
+  const std::string* attr(const std::string& key) const {
+    for (const auto& [k, v] : attrs)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+/// Uninstrumented parser/writer internals (shared with the apps).
+std::unique_ptr<XmlNode> parse_xml(const std::string& src);
+std::string write_xml(const XmlNode& node);
+
+class XmlDocument {
+ public:
+  XmlDocument() { FAT_CTOR_ENTRY(); }
+
+  bool loaded() const { return root_ != nullptr; }
+  const XmlNode* root() const { return root_.get(); }
+
+  /// Parses src and replaces the document; throws XmlError on bad input.
+  /// Careful style: parse into a temporary, then commit (failure atomic).
+  void parse(const std::string& src);
+  /// Name of the root element; throws XmlError when empty.
+  std::string root_name();
+  /// Number of elements named `tag` (whole subtree).
+  int count(const std::string& tag);
+  /// Text of the first element named `tag`; throws XmlError when absent.
+  std::string first_text(const std::string& tag);
+  /// Attribute of the first element named `tag`; throws XmlError.
+  std::string attribute(const std::string& tag, const std::string& key);
+  /// Appends a child under the first element named `parent`; throws
+  /// XmlError when the parent is missing.
+  void add_child(const std::string& parent, const std::string& name,
+                 const std::string& text);
+  /// Removes the first element named `tag` (not the root); returns false
+  /// when absent.
+  bool remove_first(const std::string& tag);
+  /// Removes every element named `tag` by repeated remove_first — the rare
+  /// incremental maintenance operation (pure failure non-atomic).
+  int remove_all(const std::string& tag);
+  /// Renames the first element named `from`; returns false when absent.
+  bool rename_first(const std::string& from, const std::string& to);
+  /// Renames every `from` element (incremental; pure failure non-atomic).
+  int rename_all(const std::string& from, const std::string& to);
+  /// Serializes the document; throws XmlError when empty.
+  std::string serialize();
+  void clear();
+  /// Structural sanity check; throws XmlError on violations.
+  void validate();
+
+ private:
+  FAT_REFLECT_FRIEND(XmlDocument);
+  FAT_CTOR_INFO(subjects::xml::XmlDocument);
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, parse,
+                  FAT_THROWS(subjects::xml::XmlError));
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, root_name,
+                  FAT_THROWS(subjects::xml::XmlError));
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, count);
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, first_text,
+                  FAT_THROWS(subjects::xml::XmlError));
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, attribute,
+                  FAT_THROWS(subjects::xml::XmlError));
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, add_child,
+                  FAT_THROWS(subjects::xml::XmlError));
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, remove_first);
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, remove_all);
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, rename_first);
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, rename_all);
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, serialize,
+                  FAT_THROWS(subjects::xml::XmlError));
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, clear);
+  FAT_METHOD_INFO(subjects::xml::XmlDocument, validate,
+                  FAT_THROWS(subjects::xml::XmlError));
+
+  XmlNode* find_first(XmlNode* n, const std::string& tag);
+
+  std::unique_ptr<XmlNode> root_;
+};
+
+}  // namespace subjects::xml
+
+FAT_REFLECT(subjects::xml::XmlNode, FAT_FIELD(subjects::xml::XmlNode, name),
+            FAT_FIELD(subjects::xml::XmlNode, text),
+            FAT_FIELD(subjects::xml::XmlNode, attrs),
+            FAT_FIELD(subjects::xml::XmlNode, children));
+
+FAT_REFLECT(subjects::xml::XmlDocument,
+            FAT_FIELD(subjects::xml::XmlDocument, root_));

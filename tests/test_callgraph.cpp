@@ -1,0 +1,122 @@
+#include "fatomic/detect/callgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fatomic/detect/experiment.hpp"
+#include "testing/synthetic.hpp"
+
+namespace detect = fatomic::detect;
+
+namespace {
+
+class CallGraphTest : public ::testing::Test {
+ protected:
+  static const detect::Campaign& campaign() {
+    static detect::Campaign c = [] {
+      detect::Experiment exp(synthetic::workload);
+      return exp.run();
+    }();
+    return c;
+  }
+  static const detect::CallGraph& graph() {
+    static detect::CallGraph g = detect::CallGraph::from(campaign());
+    return g;
+  }
+  void TearDown() override {
+    fatomic::weave::Runtime::instance().set_mode(fatomic::weave::Mode::Direct);
+  }
+};
+
+}  // namespace
+
+TEST_F(CallGraphTest, RecordsTopLevelCalls) {
+  auto callees = graph().callees_of(detect::CallGraph::kRoot);
+  EXPECT_FALSE(callees.empty());
+  // set() is only ever called from the program top level.
+  auto callers = graph().callers_of("synthetic::Account::set");
+  ASSERT_EQ(callers.size(), 1u);
+  EXPECT_EQ(callers[0], detect::CallGraph::kRoot);
+}
+
+TEST_F(CallGraphTest, RecordsNestedEdges) {
+  auto callers = graph().callers_of("synthetic::Account::nonatomic_update");
+  // Called from the top level and from calls_nonatomic.
+  EXPECT_NE(std::find(callers.begin(), callers.end(),
+                      "synthetic::Account::calls_nonatomic"),
+            callers.end());
+  auto callees = graph().callees_of("synthetic::Account::nonatomic_update");
+  ASSERT_EQ(callees.size(), 1u);
+  EXPECT_EQ(callees[0], "synthetic::Account::helper");
+}
+
+TEST_F(CallGraphTest, EdgeCountsMatchCallCounts) {
+  // batch_add({1,2,3}) then guarded_batch({4,5}) -> batch_add calls add_once
+  // 3 + 2 = 5 times; the workload also calls add_once once directly.
+  const auto& edges = graph().edges();
+  auto it = edges.find("synthetic::Account::batch_add");
+  ASSERT_NE(it, edges.end());
+  EXPECT_EQ(it->second.at("synthetic::Account::add_once"), 5u);
+  EXPECT_EQ(edges.at(detect::CallGraph::kRoot)
+                .at("synthetic::Account::add_once"),
+            1u);
+}
+
+TEST_F(CallGraphTest, DotOutputHighlightsClassification) {
+  auto cls = detect::classify(campaign());
+  std::string dot = graph().to_dot(&cls);
+  EXPECT_NE(dot.find("digraph calls"), std::string::npos);
+  EXPECT_NE(dot.find("\"synthetic::Account::nonatomic_update\" [color=red"),
+            std::string::npos);
+  EXPECT_NE(
+      dot.find("\"synthetic::Account::calls_nonatomic\" [color=orange"),
+      std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST_F(CallGraphTest, EdgeCountIsConsistent) {
+  std::size_t n = 0;
+  for (const auto& [caller, callees] : graph().edges()) n += callees.size();
+  EXPECT_EQ(n, graph().edge_count());
+  EXPECT_GT(n, 5u);
+}
+
+TEST_F(CallGraphTest, BlameIdentifiesSingleSiteVictims) {
+  auto blame = detect::blame_analysis(campaign());
+  // nonatomic_update's only fallible callee is helper(): single site.
+  auto singles = blame.single_site_victims();
+  auto it = singles.find("synthetic::Account::nonatomic_update");
+  ASSERT_NE(it, singles.end());
+  EXPECT_EQ(it->second, "synthetic::Account::helper");
+}
+
+TEST_F(CallGraphTest, RealBugsAreNotSingleSite) {
+  // sloppy_withdraw throws for real: its non-atomic mark appears in runs
+  // injected at many different sites, so no single declaration absolves it.
+  auto blame = detect::blame_analysis(campaign());
+  auto it = blame.sites_of.find("synthetic::Account::sloppy_withdraw");
+  ASSERT_NE(it, blame.sites_of.end());
+  EXPECT_GT(it->second.size(), 1u);
+  EXPECT_EQ(blame.single_site_victims().count(
+                "synthetic::Account::sloppy_withdraw"),
+            0u);
+}
+
+TEST_F(CallGraphTest, SuggestionsAreVerifiedByReclassification) {
+  // Applying every suggested exception-free declaration must strictly reduce
+  // the number of non-atomic methods.
+  auto before = detect::classify(campaign());
+  detect::Policy policy;
+  auto suggestions = detect::suggest_exception_free(campaign());
+  ASSERT_FALSE(suggestions.empty());
+  for (const auto& site : suggestions) policy.exception_free.insert(site);
+  auto after = detect::classify(campaign(), policy);
+  EXPECT_LT(after.nonatomic_names().size(), before.nonatomic_names().size());
+}
+
+TEST_F(CallGraphTest, EmptyCampaignYieldsEmptyGraph) {
+  detect::Campaign empty;
+  auto g = detect::CallGraph::from(empty);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(detect::blame_analysis(empty).sites_of.empty());
+  EXPECT_TRUE(detect::suggest_exception_free(empty).empty());
+}

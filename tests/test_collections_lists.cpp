@@ -1,0 +1,248 @@
+// Functional tests for the list-shaped collection subjects (Direct mode):
+// the subjects must be correct data structures before they are interesting
+// injection targets.
+#include <gtest/gtest.h>
+
+#include "fatomic/weave/runtime.hpp"
+#include "subjects/collections/circular_list.hpp"
+#include "subjects/collections/dynarray.hpp"
+#include "subjects/collections/linked_list.hpp"
+#include "subjects/collections/linked_list_fixed.hpp"
+
+using namespace subjects::collections;
+
+namespace {
+class CollectionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fatomic::weave::Runtime::instance().set_mode(fatomic::weave::Mode::Direct);
+  }
+};
+using CircularListTest = CollectionsTest;
+using DynarrayTest = CollectionsTest;
+using LinkedListTest = CollectionsTest;
+}  // namespace
+
+TEST_F(CircularListTest, PushPopFrontBack) {
+  CircularList l;
+  EXPECT_TRUE(l.empty());
+  l.push_back(2);
+  l.push_front(1);
+  l.push_back(3);
+  EXPECT_EQ(l.size(), 3);
+  EXPECT_EQ(l.front(), 1);
+  EXPECT_EQ(l.back(), 3);
+  EXPECT_EQ(l.pop_front(), 1);
+  EXPECT_EQ(l.pop_back(), 3);
+  EXPECT_EQ(l.pop_front(), 2);
+  EXPECT_TRUE(l.empty());
+}
+
+TEST_F(CircularListTest, EmptyAccessThrows) {
+  CircularList l;
+  EXPECT_THROW(l.front(), EmptyError);
+  EXPECT_THROW(l.back(), EmptyError);
+  EXPECT_THROW(l.pop_front(), EmptyError);
+  EXPECT_THROW(l.pop_back(), EmptyError);
+}
+
+TEST_F(CircularListTest, IndexedAccess) {
+  CircularList l;
+  l.append_all({10, 20, 30, 40});
+  EXPECT_EQ(l.at(0), 10);
+  EXPECT_EQ(l.at(3), 40);
+  EXPECT_THROW(l.at(4), IndexError);
+  EXPECT_THROW(l.at(-1), IndexError);
+  l.set_at(1, 21);
+  EXPECT_EQ(l.at(1), 21);
+  l.insert_at(2, 25);
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{10, 21, 25, 30, 40}));
+  EXPECT_EQ(l.remove_at(2), 25);
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{10, 21, 30, 40}));
+}
+
+TEST_F(CircularListTest, InsertAtBoundaries) {
+  CircularList l;
+  l.insert_at(0, 1);
+  l.insert_at(1, 3);
+  l.insert_at(1, 2);
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{1, 2, 3}));
+  EXPECT_THROW(l.insert_at(5, 9), IndexError);
+}
+
+TEST_F(CircularListTest, RotateWrapsAround) {
+  CircularList l;
+  l.append_all({1, 2, 3, 4, 5});
+  l.rotate(2);
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{3, 4, 5, 1, 2}));
+  l.rotate(5);  // full cycle: no-op
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{3, 4, 5, 1, 2}));
+  l.rotate(8);  // 8 mod 5 == 3
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(CircularListTest, ReverseInPlace) {
+  CircularList l;
+  l.append_all({1, 2, 3, 4});
+  l.reverse();
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{4, 3, 2, 1}));
+  EXPECT_EQ(l.front(), 4);
+  EXPECT_EQ(l.back(), 1);
+  l.push_back(0);
+  EXPECT_EQ(l.back(), 0);
+}
+
+TEST_F(CircularListTest, RemoveAllOccurrences) {
+  CircularList l;
+  l.append_all({5, 1, 5, 2, 5});
+  EXPECT_EQ(l.remove_all(5), 3);
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(l.remove_all(9), 0);
+}
+
+TEST_F(CircularListTest, SpliceMovesEverything) {
+  CircularList a, b;
+  a.append_all({3, 4});
+  b.append_all({1, 2});
+  a.splice_front(b);
+  EXPECT_EQ(a.to_vector(), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST_F(CircularListTest, FindOperations) {
+  CircularList l;
+  l.append_all({7, 8, 9});
+  EXPECT_TRUE(l.contains(8));
+  EXPECT_FALSE(l.contains(10));
+  EXPECT_EQ(l.index_of(9), 2);
+  EXPECT_EQ(l.index_of(99), -1);
+}
+
+TEST_F(DynarrayTest, GrowthAndAccess) {
+  Dynarray a;
+  for (int i = 0; i < 100; ++i) a.push_back(i);
+  EXPECT_EQ(a.size(), 100);
+  EXPECT_GE(a.capacity(), 100);
+  EXPECT_EQ(a.at(99), 99);
+  EXPECT_THROW(a.at(100), IndexError);
+}
+
+TEST_F(DynarrayTest, InsertRemoveShift) {
+  Dynarray a;
+  a.append_all({1, 2, 4});
+  a.insert_at(2, 3);
+  EXPECT_EQ(a.to_vector(), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(a.remove_at(0), 1);
+  EXPECT_EQ(a.to_vector(), (std::vector<int>{2, 3, 4}));
+  EXPECT_THROW(a.remove_at(3), IndexError);
+}
+
+TEST_F(DynarrayTest, ResizeBothDirections) {
+  Dynarray a;
+  a.resize(3, 7);
+  EXPECT_EQ(a.to_vector(), (std::vector<int>{7, 7, 7}));
+  a.resize(1, 0);
+  EXPECT_EQ(a.to_vector(), (std::vector<int>{7}));
+}
+
+TEST_F(DynarrayTest, ReserveAndTrim) {
+  Dynarray a;
+  a.reserve(64);
+  EXPECT_GE(a.capacity(), 64);
+  a.push_back(1);
+  a.trim();
+  EXPECT_EQ(a.capacity(), 1);
+}
+
+TEST_F(DynarrayTest, TakeFromDrainsOther) {
+  Dynarray a, b;
+  a.append_all({1});
+  b.append_all({2, 3});
+  a.take_from(b);
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_TRUE(a.contains(3));
+}
+
+TEST_F(LinkedListTest, CoreOperations) {
+  LinkedList l;
+  l.add_all({5, 3, 8});
+  EXPECT_EQ(l.size(), 3);
+  EXPECT_EQ(l.front(), 5);
+  EXPECT_EQ(l.back(), 8);
+  l.push_front(1);
+  l.push_back(9);
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{1, 5, 3, 8, 9}));
+  EXPECT_EQ(l.pop_front(), 1);
+  EXPECT_EQ(l.pop_back(), 9);
+  EXPECT_EQ(l.at(1), 3);
+  l.set_at(1, 33);
+  EXPECT_EQ(l.at(1), 33);
+}
+
+TEST_F(LinkedListTest, SortAndReverse) {
+  LinkedList l;
+  l.add_all({5, 1, 4, 2, 3});
+  l.sort();
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{1, 2, 3, 4, 5}));
+  l.reverse();
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{5, 4, 3, 2, 1}));
+}
+
+TEST_F(LinkedListTest, InsertSortedKeepsOrder) {
+  LinkedList l;
+  l.add_all({1, 3, 5});
+  l.insert_sorted(4);
+  l.insert_sorted(0);
+  l.insert_sorted(6);
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{0, 1, 3, 4, 5, 6}));
+}
+
+TEST_F(LinkedListTest, RemoveValueAndAudit) {
+  LinkedList l;
+  l.add_all({2, 7, 2, 9, 2});
+  EXPECT_EQ(l.remove_value(2), 3);
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{7, 9}));
+  EXPECT_EQ(l.audit(), 2);
+}
+
+TEST_F(LinkedListTest, ExtendMovesAll) {
+  LinkedList a, b;
+  a.add_all({1, 2});
+  b.add_all({3, 4});
+  a.extend(b);
+  EXPECT_EQ(a.to_vector(), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST_F(LinkedListTest, FixedVariantBehavesIdentically) {
+  LinkedList buggy;
+  LinkedListFixed fixed;
+  for (auto op : {1, 2, 3}) {
+    buggy.push_back(op);
+    fixed.push_back(op);
+  }
+  buggy.push_front(0);
+  fixed.push_front(0);
+  buggy.insert_at(2, 9);
+  fixed.insert_at(2, 9);
+  buggy.remove_at(1);
+  fixed.remove_at(1);
+  buggy.sort();
+  fixed.sort();
+  buggy.reverse();
+  fixed.reverse();
+  EXPECT_EQ(buggy.to_vector(), fixed.to_vector());
+  EXPECT_EQ(buggy.size(), fixed.size());
+}
+
+TEST_F(LinkedListTest, FixedVariantSortAndClear) {
+  LinkedListFixed l;
+  l.add_all({9, 1, 5});
+  l.sort();
+  EXPECT_EQ(l.to_vector(), (std::vector<int>{1, 5, 9}));
+  l.clear();
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.audit(), 0);
+}

@@ -1,0 +1,236 @@
+// Functional tests for the map/set/tree/buffer collection subjects.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fatomic/weave/runtime.hpp"
+#include "subjects/collections/hashed_map.hpp"
+#include "subjects/collections/hashed_set.hpp"
+#include "subjects/collections/linked_buffer.hpp"
+#include "subjects/collections/ll_map.hpp"
+#include "subjects/collections/rb_map.hpp"
+#include "subjects/collections/rb_tree.hpp"
+
+using namespace subjects::collections;
+
+namespace {
+class MapsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fatomic::weave::Runtime::instance().set_mode(fatomic::weave::Mode::Direct);
+  }
+};
+using HashedMapTest = MapsTest;
+using HashedSetTest = MapsTest;
+using LLMapTest = MapsTest;
+using LinkedBufferTest = MapsTest;
+using RBTreeTest = MapsTest;
+using RBMapTest = MapsTest;
+}  // namespace
+
+TEST_F(HashedMapTest, PutGetRemove) {
+  HashedMap m;
+  EXPECT_TRUE(m.put("a", 1));
+  EXPECT_FALSE(m.put("a", 2));  // overwrite
+  EXPECT_EQ(m.get("a"), 2);
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_EQ(m.remove("a"), 2);
+  EXPECT_TRUE(m.empty());
+  EXPECT_THROW(m.get("a"), KeyError);
+  EXPECT_THROW(m.remove("a"), KeyError);
+}
+
+TEST_F(HashedMapTest, RehashPreservesEntries) {
+  HashedMap m;
+  const int initial_buckets = m.bucket_count();
+  for (int i = 0; i < 50; ++i) m.put("key" + std::to_string(i), i);
+  EXPECT_GT(m.bucket_count(), initial_buckets) << "load factor must trigger growth";
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(m.get("key" + std::to_string(i)), i);
+  EXPECT_EQ(m.size(), 50);
+}
+
+TEST_F(HashedMapTest, KeysAndValuesAgree) {
+  HashedMap m;
+  m.put("x", 10);
+  m.put("y", 20);
+  auto keys = m.keys();
+  auto values = m.values();
+  ASSERT_EQ(keys.size(), 2u);
+  ASSERT_EQ(values.size(), 2u);
+  std::sort(keys.begin(), keys.end());
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(keys, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(values, (std::vector<int>{10, 20}));
+}
+
+TEST_F(HashedMapTest, PutAllCopies) {
+  HashedMap a, b;
+  b.put("p", 1);
+  b.put("q", 2);
+  a.put_all(b);
+  EXPECT_EQ(a.get("p"), 1);
+  EXPECT_EQ(a.get("q"), 2);
+  EXPECT_EQ(b.size(), 2) << "source must be unchanged";
+}
+
+TEST_F(HashedSetTest, AddRemoveContains) {
+  HashedSet s;
+  EXPECT_TRUE(s.add(1));
+  EXPECT_FALSE(s.add(1));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.remove(1));
+  EXPECT_FALSE(s.remove(1));
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST_F(HashedSetTest, SetAlgebra) {
+  HashedSet a, b;
+  a.add_all({1, 2, 3, 4});
+  b.add_all({3, 4, 5});
+  a.union_with(b);
+  EXPECT_EQ(a.size(), 5);
+  a.intersect(b);
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_TRUE(a.contains(3));
+  EXPECT_TRUE(a.contains(5));
+  EXPECT_FALSE(a.contains(1));
+}
+
+TEST_F(HashedSetTest, GrowsUnderLoad) {
+  HashedSet s;
+  const int initial = s.bucket_count();
+  for (int i = 0; i < 64; ++i) s.add(i * 13);
+  EXPECT_GT(s.bucket_count(), initial);
+  EXPECT_EQ(s.size(), 64);
+  for (int i = 0; i < 64; ++i) EXPECT_TRUE(s.contains(i * 13));
+}
+
+TEST_F(LLMapTest, PutGetMoveToFront) {
+  LLMap m;
+  m.put("a", 1);
+  m.put("b", 2);
+  m.put("c", 3);
+  EXPECT_EQ(m.get("a"), 1);  // moves "a" to the front
+  EXPECT_EQ(m.keys().front(), "a");
+  EXPECT_EQ(m.chain_length(), 3);
+  EXPECT_EQ(m.size(), 3);
+}
+
+TEST_F(LLMapTest, RemoveAndRemoveValue) {
+  LLMap m;
+  m.put("a", 1);
+  m.put("b", 7);
+  m.put("c", 7);
+  EXPECT_EQ(m.remove("a"), 1);
+  EXPECT_THROW(m.remove("a"), KeyError);
+  EXPECT_EQ(m.remove_value(7), 2);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST_F(LinkedBufferTest, AppendConsumeRoundTrip) {
+  LinkedBuffer b;
+  b.append("hello, chunked world of buffers");
+  EXPECT_EQ(b.size(), 31);
+  EXPECT_GT(b.chunk_count(), 1);
+  EXPECT_EQ(b.peek(), 'h');
+  EXPECT_EQ(b.consume(5), "hello");
+  EXPECT_EQ(b.consume(2), ", ");
+  EXPECT_EQ(b.to_string(), "chunked world of buffers");
+  EXPECT_THROW(b.consume(1000), EmptyError);
+}
+
+TEST_F(LinkedBufferTest, CompactMergesChunks) {
+  LinkedBuffer b;
+  for (int i = 0; i < 10; ++i) b.append_chunk("ab");
+  const std::string before = b.to_string();
+  b.compact();
+  EXPECT_EQ(b.to_string(), before);
+  EXPECT_LE(b.chunk_count(), 2);
+}
+
+TEST_F(LinkedBufferTest, DrainFromMovesAll) {
+  LinkedBuffer a, b;
+  a.append("head:");
+  b.append("tail-content");
+  a.drain_from(b);
+  EXPECT_EQ(a.to_string(), "head:tail-content");
+  EXPECT_TRUE(b.empty());
+}
+
+TEST_F(RBTreeTest, InsertContainsValidate) {
+  RBTree t;
+  for (int k : {50, 20, 70, 10, 30, 60, 80, 5, 15}) EXPECT_TRUE(t.insert(k));
+  EXPECT_FALSE(t.insert(50));
+  EXPECT_EQ(t.size(), 9);
+  EXPECT_TRUE(t.contains(15));
+  EXPECT_FALSE(t.contains(99));
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.min(), 5);
+  EXPECT_EQ(t.max(), 80);
+}
+
+TEST_F(RBTreeTest, SortedOrderAndBalance) {
+  RBTree t;
+  // Ascending insertion: the worst case for an unbalanced BST.
+  for (int i = 1; i <= 64; ++i) t.insert(i);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_LE(t.height(), 2 * 7 + 1) << "red-black height bound violated";
+  auto v = t.to_sorted_vector();
+  ASSERT_EQ(v.size(), 64u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST_F(RBTreeTest, RemoveRebuilds) {
+  RBTree t;
+  t.insert_all({4, 2, 6, 1, 3, 5, 7});
+  EXPECT_TRUE(t.remove(4));
+  EXPECT_FALSE(t.remove(4));
+  EXPECT_FALSE(t.contains(4));
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST_F(RBTreeTest, EmptyTreeEdgeCases) {
+  RBTree t;
+  EXPECT_THROW(t.min(), EmptyError);
+  EXPECT_THROW(t.max(), EmptyError);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_TRUE(t.to_sorted_vector().empty());
+}
+
+TEST_F(RBMapTest, PutGetOrderedKeys) {
+  RBMap m;
+  m.put("delta", 4);
+  m.put("alpha", 1);
+  m.put("charlie", 3);
+  m.put("bravo", 2);
+  EXPECT_EQ(m.get("bravo"), 2);
+  EXPECT_EQ(m.get_or("zulu", -1), -1);
+  EXPECT_EQ(m.min_key(), "alpha");
+  EXPECT_EQ(m.max_key(), "delta");
+  EXPECT_EQ(m.keys(), (std::vector<std::string>{"alpha", "bravo", "charlie",
+                                                "delta"}));
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST_F(RBMapTest, OverwriteAndRemove) {
+  RBMap m;
+  m.put("k", 1);
+  EXPECT_FALSE(m.put("k", 2));
+  EXPECT_EQ(m.get("k"), 2);
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_TRUE(m.remove("k"));
+  EXPECT_FALSE(m.remove("k"));
+  EXPECT_THROW(m.get("k"), KeyError);
+}
+
+TEST_F(RBMapTest, ManyKeysStaysValid) {
+  RBMap m;
+  for (int i = 0; i < 60; ++i)
+    m.put("key" + std::to_string(100 + i), i);
+  EXPECT_EQ(m.size(), 60);
+  EXPECT_NO_THROW(m.validate());
+  auto keys = m.keys();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}

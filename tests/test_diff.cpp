@@ -1,0 +1,127 @@
+#include "fatomic/snapshot/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fatomic/detect/classify.hpp"
+#include "fatomic/detect/experiment.hpp"
+#include "fatomic/snapshot/capture.hpp"
+#include "testing/synthetic.hpp"
+#include "testing/types.hpp"
+
+namespace snap = fatomic::snapshot;
+using namespace testing_types;
+
+TEST(Diff, EqualSnapshotsProduceNoDifferences) {
+  Plain p{1, 2.0, true, "x"};
+  auto a = snap::capture(p);
+  auto b = snap::capture(p);
+  EXPECT_TRUE(snap::diff(a, b).empty());
+  EXPECT_EQ(snap::first_difference(a, b), "");
+}
+
+TEST(Diff, PrimitiveFieldChangeNamesThePath) {
+  Plain p{1, 2.0, true, "x"};
+  auto before = snap::capture(p);
+  p.i = 42;
+  auto after = snap::capture(p);
+  auto ds = snap::diff(before, after);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].path, "root.i");
+  EXPECT_EQ(ds[0].before, "1");
+  EXPECT_EQ(ds[0].after, "42");
+}
+
+TEST(Diff, MultipleChangesAllReported) {
+  Plain p{1, 2.0, true, "x"};
+  auto before = snap::capture(p);
+  p.i = 2;
+  p.s = "y";
+  auto ds = snap::diff(before, snap::capture(p));
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].path, "root.i");
+  EXPECT_EQ(ds[1].path, "root.s");
+}
+
+TEST(Diff, LimitCapsReportedDifferences) {
+  std::vector<int> v(20, 0);
+  auto before = snap::capture(v);
+  for (auto& x : v) x = 1;
+  auto ds = snap::diff(before, snap::capture(v), 5);
+  EXPECT_EQ(ds.size(), 5u);
+}
+
+TEST(Diff, SequenceLengthChange) {
+  Nested n;
+  n.values = {1, 2, 3};
+  auto before = snap::capture(n);
+  n.values.push_back(4);
+  auto ds = snap::diff(before, snap::capture(n));
+  ASSERT_FALSE(ds.empty());
+  EXPECT_EQ(ds[0].path, "root.values.length");
+}
+
+TEST(Diff, SequenceElementPathUsesIndex) {
+  Nested n;
+  n.values = {1, 2, 3};
+  auto before = snap::capture(n);
+  n.values[1] = 9;
+  auto ds = snap::diff(before, snap::capture(n));
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].path, "root.values[1]");
+}
+
+TEST(Diff, PointerChainPaths) {
+  LinkList l;
+  l.push_front(1);
+  l.push_front(2);
+  auto before = snap::capture(l);
+  l.head->next->value = 7;
+  auto ds = snap::diff(before, snap::capture(l));
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].path, "root.head->.next->.value");
+}
+
+TEST(Diff, NullVsNonNullPointer) {
+  LinkList l;
+  auto before = snap::capture(l);
+  l.push_front(5);
+  auto ds = snap::diff(before, snap::capture(l));
+  ASSERT_FALSE(ds.empty());
+  // head changed from nullptr to a pointer (and size changed too).
+  bool saw_head = false;
+  for (const auto& d : ds) saw_head |= d.path == "root.head";
+  EXPECT_TRUE(saw_head);
+}
+
+TEST(Diff, CyclicGraphsTerminate) {
+  Ring a, b;
+  a.insert(1);
+  a.insert(2);
+  b.insert(1);
+  b.insert(3);
+  auto ds = snap::diff(snap::capture(a), snap::capture(b));
+  ASSERT_FALSE(ds.empty());
+  EXPECT_NE(ds[0].path.find("root.entry"), std::string::npos);
+}
+
+TEST(Diff, RecordedInCampaignMarks) {
+  fatomic::detect::Options opts;
+  opts.record_diffs = true;
+  fatomic::detect::Experiment exp(synthetic::workload, opts);
+  auto cls = fatomic::detect::classify(exp.run());
+  const auto* r = cls.find("synthetic::Account::nonatomic_update");
+  ASSERT_NE(r, nullptr);
+  EXPECT_FALSE(r->example_detail.empty());
+  EXPECT_NE(r->example_detail.find("value_"), std::string::npos)
+      << r->example_detail;
+  fatomic::weave::Runtime::instance().set_mode(fatomic::weave::Mode::Direct);
+}
+
+TEST(Diff, NotRecordedByDefault) {
+  fatomic::detect::Experiment exp(synthetic::workload);
+  auto cls = fatomic::detect::classify(exp.run());
+  const auto* r = cls.find("synthetic::Account::nonatomic_update");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->example_detail.empty());
+  fatomic::weave::Runtime::instance().set_mode(fatomic::weave::Mode::Direct);
+}

@@ -1,0 +1,143 @@
+// Property: the corrected program P_C is *semantically equivalent* to the
+// original program P when no exception occurs (the paper's transformation
+// only changes behaviour on the exceptional path).  Random operation
+// sequences over the collection subjects must produce identical results in
+// Direct mode and in Mask mode with every method wrapped.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fatomic/mask/masker.hpp"
+#include "fatomic/weave/runtime.hpp"
+#include "subjects/collections/dynarray.hpp"
+#include "subjects/collections/hashed_map.hpp"
+#include "subjects/collections/linked_list.hpp"
+
+namespace weave = fatomic::weave;
+using namespace subjects::collections;
+
+namespace {
+
+class MaskedEquivalence : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void TearDown() override {
+    weave::Runtime::instance().set_mode(weave::Mode::Direct);
+    weave::Runtime::instance().set_wrap_predicate(nullptr);
+  }
+};
+
+/// Drives a LinkedList with a seeded random op sequence; returns a trace of
+/// observable results.
+std::vector<int> drive_list(unsigned seed) {
+  std::mt19937 rng(seed);
+  LinkedList l;
+  std::vector<int> trace;
+  for (int i = 0; i < 60; ++i) {
+    switch (rng() % 8) {
+      case 0:
+        l.push_back(static_cast<int>(rng() % 50));
+        break;
+      case 1:
+        l.push_front(static_cast<int>(rng() % 50));
+        break;
+      case 2:
+        if (!l.empty()) trace.push_back(l.pop_front());
+        break;
+      case 3:
+        if (!l.empty()) trace.push_back(l.pop_back());
+        break;
+      case 4:
+        trace.push_back(l.index_of(static_cast<int>(rng() % 50)));
+        break;
+      case 5:
+        l.insert_sorted(static_cast<int>(rng() % 50));
+        break;
+      case 6:
+        if (rng() % 4 == 0) l.sort();
+        break;
+      case 7:
+        trace.push_back(l.remove_value(static_cast<int>(rng() % 50)));
+        break;
+    }
+  }
+  for (int v : l.to_vector()) trace.push_back(v);
+  return trace;
+}
+
+std::vector<int> drive_map(unsigned seed) {
+  std::mt19937 rng(seed);
+  HashedMap m;
+  std::vector<int> trace;
+  for (int i = 0; i < 80; ++i) {
+    const std::string key = "k" + std::to_string(rng() % 20);
+    switch (rng() % 4) {
+      case 0:
+        trace.push_back(m.put(key, static_cast<int>(rng() % 100)) ? 1 : 0);
+        break;
+      case 1:
+        trace.push_back(m.get_or(key, -1));
+        break;
+      case 2:
+        if (m.contains_key(key)) trace.push_back(m.remove(key));
+        break;
+      case 3:
+        trace.push_back(m.size());
+        break;
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+TEST_P(MaskedEquivalence, LinkedListTracesMatch) {
+  std::vector<int> direct, masked;
+  {
+    weave::ScopedMode m(weave::Mode::Direct);
+    direct = drive_list(GetParam());
+  }
+  {
+    fatomic::mask::MaskedScope scope(
+        [](const weave::MethodInfo&) { return true; });  // wrap everything
+    masked = drive_list(GetParam());
+  }
+  EXPECT_EQ(direct, masked);
+}
+
+TEST_P(MaskedEquivalence, HashedMapTracesMatch) {
+  std::vector<int> direct, masked;
+  {
+    weave::ScopedMode m(weave::Mode::Direct);
+    direct = drive_map(GetParam());
+  }
+  {
+    fatomic::mask::MaskedScope scope(
+        [](const weave::MethodInfo&) { return true; });
+    masked = drive_map(GetParam());
+  }
+  EXPECT_EQ(direct, masked);
+}
+
+TEST_P(MaskedEquivalence, CountAndInjectModesAlsoAgree) {
+  // The injector program P_I must compute the same results as P when the
+  // threshold is never reached (Figure 1: same program, extra wrappers).
+  std::vector<int> direct, counted, injected;
+  {
+    weave::ScopedMode m(weave::Mode::Direct);
+    direct = drive_list(GetParam());
+  }
+  {
+    weave::ScopedMode m(weave::Mode::Count);
+    weave::Runtime::instance().reset_counts();
+    counted = drive_list(GetParam());
+  }
+  {
+    weave::ScopedMode m(weave::Mode::Inject);
+    weave::Runtime::instance().begin_run(0);  // never fires
+    injected = drive_list(GetParam());
+  }
+  EXPECT_EQ(direct, counted);
+  EXPECT_EQ(direct, injected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskedEquivalence, ::testing::Range(0u, 10u));

@@ -1,0 +1,186 @@
+// Functional tests for the transport and Self* framework subjects.
+#include <gtest/gtest.h>
+
+#include "fatomic/weave/runtime.hpp"
+#include "subjects/net/transport.hpp"
+#include "subjects/selfstar/selfstar.hpp"
+#include "subjects/xml/xml.hpp"
+
+using namespace subjects::net;
+using namespace subjects::selfstar;
+
+namespace {
+class SubjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fatomic::weave::Runtime::instance().set_mode(fatomic::weave::Mode::Direct);
+  }
+};
+using TransportTest = SubjectTest;
+using SelfStarTest = SubjectTest;
+}  // namespace
+
+TEST_F(TransportTest, OpenSendRecv) {
+  Transport t;
+  t.open("a");
+  t.send("a", "hello");
+  t.send("a", "world");
+  EXPECT_EQ(t.sent(), 2);
+  EXPECT_EQ(t.channel("a").pending(), 2);
+  EXPECT_EQ(t.recv("a"), "hello");
+  EXPECT_EQ(t.recv("a"), "world");
+  EXPECT_THROW(t.recv("a"), NetError);
+}
+
+TEST_F(TransportTest, UnknownEndpointsFail) {
+  Transport t;
+  EXPECT_THROW(t.send("ghost", "x"), NetError);
+  EXPECT_THROW(t.recv("ghost"), NetError);
+  EXPECT_EQ(t.sent(), 0) << "failed send must not count";
+  t.open("a");
+  EXPECT_THROW(t.open("a"), NetError);
+}
+
+TEST_F(TransportTest, BroadcastReachesAll) {
+  Transport t;
+  t.open("a");
+  t.open("b");
+  t.open("c");
+  t.broadcast("ping");
+  EXPECT_EQ(t.channel("a").pending(), 1);
+  EXPECT_EQ(t.channel("b").pending(), 1);
+  EXPECT_EQ(t.channel("c").pending(), 1);
+  EXPECT_EQ(t.sent(), 3);
+}
+
+TEST_F(TransportTest, ClosedChannelRejectsDelivery) {
+  Transport t;
+  t.open("a");
+  t.channel("a").close();
+  EXPECT_THROW(t.send("a", "x"), NetError);
+  EXPECT_EQ(t.sent(), 0);
+}
+
+TEST_F(SelfStarTest, AdaptorsTransformMessages) {
+  Message m{"news", "hello", 0};
+  UppercaseAdaptor upper;
+  EXPECT_TRUE(upper.handle(m));
+  EXPECT_EQ(m.payload, "HELLO");
+  TagAdaptor tag("pre/");
+  EXPECT_TRUE(tag.handle(m));
+  EXPECT_EQ(m.topic, "pre/news");
+  EXPECT_EQ(m.hops, 2);
+}
+
+TEST_F(SelfStarTest, FilterDropsMatching) {
+  FilterAdaptor f("spam");
+  Message clean{"t", "good content", 0};
+  Message bad{"t", "some spam here", 0};
+  EXPECT_TRUE(f.handle(clean));
+  EXPECT_FALSE(f.handle(bad));
+}
+
+TEST_F(SelfStarTest, ChainProcessesEndToEnd) {
+  AdaptorChain chain;
+  chain.add(std::make_unique<TagAdaptor>("x/"));
+  chain.add(std::make_unique<UppercaseAdaptor>());
+  chain.add(std::make_unique<CollectorSink>());
+  Message m{"topic", "payload", 0};
+  EXPECT_TRUE(chain.process(m));
+  EXPECT_EQ(m.topic, "x/topic");
+  EXPECT_EQ(m.payload, "PAYLOAD");
+  auto* sink = dynamic_cast<CollectorSink*>(chain.component(2));
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->collected(), (std::vector<std::string>{"PAYLOAD"}));
+}
+
+TEST_F(SelfStarTest, DroppedMessageLeavesInputUntouched) {
+  AdaptorChain chain;
+  chain.add(std::make_unique<UppercaseAdaptor>());
+  chain.add(std::make_unique<FilterAdaptor>("DROP"));
+  Message m{"t", "drop me", 0};
+  EXPECT_FALSE(chain.process(m));
+  EXPECT_EQ(m.payload, "drop me") << "careful style: commit only on success";
+  EXPECT_EQ(m.hops, 0);
+}
+
+TEST_F(SelfStarTest, ProcessAllCountsSurvivors) {
+  AdaptorChain chain;
+  chain.add(std::make_unique<FilterAdaptor>("bad"));
+  std::vector<Message> batch{{"1", "good", 0}, {"2", "bad apple", 0},
+                             {"3", "fine", 0}};
+  EXPECT_EQ(chain.process_all(batch), 2);
+}
+
+TEST_F(SelfStarTest, ReconfigureRebuildsChain) {
+  AdaptorChain chain;
+  chain.add(std::make_unique<UppercaseAdaptor>());
+  chain.reconfigure({"tag:z/", "filter:x", "collector"});
+  EXPECT_EQ(chain.length(), 3);
+  EXPECT_THROW(chain.reconfigure({"bogus"}), SelfStarError);
+}
+
+TEST_F(SelfStarTest, EventQueueFifoAndLimits) {
+  EventQueue q;
+  q.enqueue(Message{"a", "1", 0});
+  q.enqueue(Message{"b", "2", 0});
+  EXPECT_EQ(q.size(), 2);
+  EXPECT_EQ(q.dequeue().topic, "a");
+  EXPECT_EQ(q.dequeue().topic, "b");
+  EXPECT_THROW(q.dequeue(), SelfStarError);
+}
+
+TEST_F(SelfStarTest, EventQueuePumpThroughChain) {
+  EventQueue q;
+  AdaptorChain chain;
+  chain.add(std::make_unique<FilterAdaptor>("skip"));
+  chain.add(std::make_unique<CollectorSink>());
+  q.enqueue(Message{"1", "keep one", 0});
+  q.enqueue(Message{"2", "skip this", 0});
+  q.enqueue(Message{"3", "keep two", 0});
+  EXPECT_EQ(q.pump(chain), 2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.processed(), 3);
+}
+
+TEST_F(SelfStarTest, DrainToMovesMessages) {
+  EventQueue a, b;
+  a.enqueue(Message{"x", "1", 0});
+  a.enqueue(Message{"y", "2", 0});
+  a.drain_to(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.size(), 2);
+}
+
+TEST_F(SelfStarTest, FactoryBuildsKnownKinds) {
+  ComponentFactory f;
+  EXPECT_EQ(f.build("uppercase", "")->kind(), "uppercase");
+  EXPECT_EQ(f.build("tag", "p/")->kind(), "tag");
+  EXPECT_EQ(f.build("filter", "x")->kind(), "filter");
+  EXPECT_EQ(f.build("collector", "")->kind(), "collector");
+  EXPECT_EQ(f.built(), 4);
+  EXPECT_THROW(f.build("bogus", ""), SelfStarError);
+  EXPECT_EQ(f.built(), 4) << "failed build must not count";
+}
+
+TEST_F(SelfStarTest, FactoryAssemblesFromXml) {
+  subjects::xml::XmlDocument doc;
+  doc.parse(
+      "<config><component kind=\"tag\" arg=\"n/\"/>"
+      "<component kind=\"collector\"/><other/></config>");
+  ComponentFactory f;
+  AdaptorChain chain;
+  EXPECT_EQ(f.assemble(doc, chain), 2);
+  EXPECT_EQ(chain.length(), 2);
+  Message m{"t", "p", 0};
+  EXPECT_TRUE(chain.process(m));
+  EXPECT_EQ(m.topic, "n/t");
+}
+
+TEST_F(SelfStarTest, AssembleRejectsBadConfig) {
+  subjects::xml::XmlDocument doc;
+  doc.parse("<config><component/></config>");
+  ComponentFactory f;
+  AdaptorChain chain;
+  EXPECT_THROW(f.assemble(doc, chain), SelfStarError);
+}

@@ -1,0 +1,135 @@
+#include "fatomic/memory/rc_ptr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+using fatomic::memory::make_rc;
+using fatomic::memory::rc_ptr;
+
+namespace {
+
+struct Probe {
+  static int live;
+  int v = 0;
+  Probe() { ++live; }
+  explicit Probe(int x) : v(x) { ++live; }
+  Probe(const Probe& o) : v(o.v) { ++live; }
+  ~Probe() { --live; }
+};
+int Probe::live = 0;
+
+}  // namespace
+
+TEST(RcPtr, DefaultIsNull) {
+  rc_ptr<int> p;
+  EXPECT_FALSE(p);
+  EXPECT_EQ(p.get(), nullptr);
+  EXPECT_EQ(p.use_count(), 0u);
+}
+
+TEST(RcPtr, MakeConstructsAndDestroys) {
+  ASSERT_EQ(Probe::live, 0);
+  {
+    auto p = make_rc<Probe>(42);
+    EXPECT_EQ(Probe::live, 1);
+    EXPECT_EQ(p->v, 42);
+    EXPECT_EQ(p.use_count(), 1u);
+  }
+  EXPECT_EQ(Probe::live, 0);
+}
+
+TEST(RcPtr, CopySharesOwnership) {
+  auto p = make_rc<Probe>(1);
+  {
+    rc_ptr<Probe> q = p;
+    EXPECT_EQ(p.use_count(), 2u);
+    EXPECT_EQ(q.get(), p.get());
+  }
+  EXPECT_EQ(p.use_count(), 1u);
+  EXPECT_EQ(Probe::live, 1);
+  p.reset();
+  EXPECT_EQ(Probe::live, 0);
+}
+
+TEST(RcPtr, MoveTransfersOwnership) {
+  auto p = make_rc<Probe>(1);
+  rc_ptr<Probe> q = std::move(p);
+  EXPECT_FALSE(p);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(q.use_count(), 1u);
+  EXPECT_EQ(Probe::live, 1);
+}
+
+TEST(RcPtr, CopyAssignmentReleasesOld) {
+  auto a = make_rc<Probe>(1);
+  auto b = make_rc<Probe>(2);
+  EXPECT_EQ(Probe::live, 2);
+  a = b;
+  EXPECT_EQ(Probe::live, 1);
+  EXPECT_EQ(a->v, 2);
+  EXPECT_EQ(a.use_count(), 2u);
+}
+
+TEST(RcPtr, SelfAssignmentIsSafe) {
+  auto a = make_rc<Probe>(5);
+  auto& ref = a;
+  a = ref;
+  EXPECT_EQ(a->v, 5);
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(Probe::live, 1);
+}
+
+TEST(RcPtr, MoveAssignmentReleasesOld) {
+  auto a = make_rc<Probe>(1);
+  auto b = make_rc<Probe>(2);
+  a = std::move(b);
+  EXPECT_EQ(Probe::live, 1);
+  EXPECT_EQ(a->v, 2);
+  EXPECT_FALSE(b);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(RcPtr, NullAssignmentReleases) {
+  auto a = make_rc<Probe>(1);
+  a = nullptr;
+  EXPECT_FALSE(a);
+  EXPECT_EQ(Probe::live, 0);
+}
+
+TEST(RcPtr, EqualityComparesIdentityNotValue) {
+  auto a = make_rc<Probe>(1);
+  auto b = make_rc<Probe>(1);
+  rc_ptr<Probe> c = a;
+  EXPECT_TRUE(a == c);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == nullptr);
+  EXPECT_TRUE(rc_ptr<Probe>{} == nullptr);
+}
+
+TEST(RcPtr, ChainReclaimsWholeList) {
+  struct Node {
+    int v = 0;
+    rc_ptr<Node> next;
+    Probe probe;
+  };
+  {
+    rc_ptr<Node> head;
+    for (int i = 0; i < 100; ++i) {
+      auto n = make_rc<Node>();
+      n->v = i;
+      n->next = head;
+      head = n;
+    }
+    EXPECT_EQ(Probe::live, 100);
+  }
+  EXPECT_EQ(Probe::live, 0);
+}
+
+TEST(RcPtr, WorksInContainers) {
+  std::vector<rc_ptr<Probe>> v;
+  auto p = make_rc<Probe>(3);
+  for (int i = 0; i < 10; ++i) v.push_back(p);
+  EXPECT_EQ(p.use_count(), 11u);
+  v.clear();
+  EXPECT_EQ(p.use_count(), 1u);
+}

@@ -1,0 +1,79 @@
+#include "fatomic/reflect/reflect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/types.hpp"
+
+namespace reflect = fatomic::reflect;
+using testing_types::Nested;
+using testing_types::Plain;
+
+TEST(Reflect, DetectsRegisteredTypes) {
+  EXPECT_TRUE(reflect::is_reflected_v<Plain>);
+  EXPECT_TRUE(reflect::is_reflected_v<Nested>);
+  EXPECT_FALSE(reflect::is_reflected_v<int>);
+  EXPECT_FALSE((reflect::is_reflected_v<std::vector<int>>));
+}
+
+TEST(Reflect, IgnoresCvQualifiers) {
+  EXPECT_TRUE(reflect::is_reflected_v<const Plain>);
+  EXPECT_TRUE(reflect::is_reflected_v<volatile Plain>);
+}
+
+TEST(Reflect, ReportsTypeName) {
+  EXPECT_STREQ(reflect::Reflect<Plain>::name, "testing_types::Plain");
+}
+
+TEST(Reflect, CountsFields) {
+  EXPECT_EQ(reflect::field_count<Plain>(), 4u);
+  EXPECT_EQ(reflect::field_count<Nested>(), 4u);
+}
+
+TEST(Reflect, VisitsFieldsInDeclarationOrder) {
+  std::vector<std::string> names;
+  reflect::for_each_field<Plain>([&](const auto& f) { names.push_back(f.name); });
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "i");
+  EXPECT_EQ(names[1], "d");
+  EXPECT_EQ(names[2], "b");
+  EXPECT_EQ(names[3], "s");
+}
+
+TEST(Reflect, FieldAccessThroughMemberPointer) {
+  Plain p;
+  p.i = 42;
+  p.s = "hello";
+  int seen_int = 0;
+  std::string seen_str;
+  reflect::for_each_field<Plain>([&](const auto& f) {
+    using FieldT = std::remove_reference_t<decltype(p.*(f.member))>;
+    if constexpr (std::is_same_v<FieldT, int>) seen_int = p.*(f.member);
+    if constexpr (std::is_same_v<FieldT, std::string>) seen_str = p.*(f.member);
+  });
+  EXPECT_EQ(seen_int, 42);
+  EXPECT_EQ(seen_str, "hello");
+}
+
+TEST(Reflect, OwnedFlagOnlyOnOwnedFields) {
+  bool head_owned = false;
+  bool size_owned = true;
+  reflect::for_each_field<testing_types::LinkList>([&](const auto& f) {
+    if (std::string(f.name) == "head") head_owned = f.owned;
+    if (std::string(f.name) == "size") size_owned = f.owned;
+  });
+  EXPECT_TRUE(head_owned);
+  EXPECT_FALSE(size_owned);
+}
+
+namespace {
+struct Empty {};
+}  // namespace
+FAT_REFLECT_EMPTY(Empty);
+
+TEST(Reflect, SupportsEmptyClasses) {
+  EXPECT_TRUE(reflect::is_reflected_v<Empty>);
+  EXPECT_EQ(reflect::field_count<Empty>(), 0u);
+}

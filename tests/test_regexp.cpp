@@ -1,0 +1,163 @@
+// Functional tests for the backtracking regexp engine subject.
+#include <gtest/gtest.h>
+
+#include "fatomic/weave/runtime.hpp"
+#include "subjects/regexp/regexp.hpp"
+
+using subjects::regexp::RegexError;
+using subjects::regexp::Regexp;
+
+namespace {
+
+class RegexpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fatomic::weave::Runtime::instance().set_mode(fatomic::weave::Mode::Direct);
+  }
+  bool matches(const std::string& pattern, const std::string& text) {
+    Regexp re;
+    re.compile(pattern);
+    return re.matches(text);
+  }
+};
+
+}  // namespace
+
+TEST_F(RegexpTest, Literals) {
+  EXPECT_TRUE(matches("abc", "abc"));
+  EXPECT_FALSE(matches("abc", "abd"));
+  EXPECT_FALSE(matches("abc", "abcd"));
+  EXPECT_FALSE(matches("abc", "ab"));
+  EXPECT_TRUE(matches("", ""));
+}
+
+TEST_F(RegexpTest, Dot) {
+  EXPECT_TRUE(matches("a.c", "abc"));
+  EXPECT_TRUE(matches("a.c", "axc"));
+  EXPECT_FALSE(matches("a.c", "ac"));
+  EXPECT_TRUE(matches("...", "xyz"));
+}
+
+TEST_F(RegexpTest, StarQuantifier) {
+  EXPECT_TRUE(matches("ab*c", "ac"));
+  EXPECT_TRUE(matches("ab*c", "abbbc"));
+  EXPECT_FALSE(matches("ab*c", "abxc"));
+  EXPECT_TRUE(matches("a*", ""));
+  EXPECT_TRUE(matches("a*", "aaaa"));
+}
+
+TEST_F(RegexpTest, PlusQuantifier) {
+  EXPECT_FALSE(matches("ab+c", "ac"));
+  EXPECT_TRUE(matches("ab+c", "abc"));
+  EXPECT_TRUE(matches("ab+c", "abbbc"));
+}
+
+TEST_F(RegexpTest, OptQuantifier) {
+  EXPECT_TRUE(matches("colou?r", "color"));
+  EXPECT_TRUE(matches("colou?r", "colour"));
+  EXPECT_FALSE(matches("colou?r", "colouur"));
+}
+
+TEST_F(RegexpTest, Alternation) {
+  EXPECT_TRUE(matches("cat|dog", "cat"));
+  EXPECT_TRUE(matches("cat|dog", "dog"));
+  EXPECT_FALSE(matches("cat|dog", "cow"));
+  EXPECT_TRUE(matches("a|b|c", "b"));
+}
+
+TEST_F(RegexpTest, Grouping) {
+  EXPECT_TRUE(matches("(ab)+", "ababab"));
+  EXPECT_FALSE(matches("(ab)+", "aba"));
+  EXPECT_TRUE(matches("(a|b)*c", "abbac"));
+  EXPECT_TRUE(matches("x(y(z))", "xyz"));
+}
+
+TEST_F(RegexpTest, CharacterClasses) {
+  EXPECT_TRUE(matches("[abc]+", "cab"));
+  EXPECT_FALSE(matches("[abc]+", "cad"));
+  EXPECT_TRUE(matches("[a-z]+", "hello"));
+  EXPECT_FALSE(matches("[a-z]+", "Hello"));
+  EXPECT_TRUE(matches("[^0-9]+", "abc"));
+  EXPECT_FALSE(matches("[^0-9]+", "ab1"));
+}
+
+TEST_F(RegexpTest, Escapes) {
+  EXPECT_TRUE(matches("a\\.b", "a.b"));
+  EXPECT_FALSE(matches("a\\.b", "axb"));
+  EXPECT_TRUE(matches("a\\*", "a*"));
+}
+
+TEST_F(RegexpTest, SyntaxErrors) {
+  Regexp re;
+  EXPECT_THROW(re.compile("(unclosed"), RegexError);
+  EXPECT_THROW(re.compile("unopened)"), RegexError);
+  EXPECT_THROW(re.compile("*nothing"), RegexError);
+  EXPECT_THROW(re.compile("[unclosed"), RegexError);
+  EXPECT_THROW(re.compile("trailing\\"), RegexError);
+  EXPECT_THROW(re.compile("[z-a]"), RegexError);
+}
+
+TEST_F(RegexpTest, MatchStateOnlyAfterCompile) {
+  Regexp re;
+  EXPECT_THROW(re.matches("x"), RegexError);
+  EXPECT_THROW(re.find("x", 0), RegexError);
+}
+
+TEST_F(RegexpTest, FindUpdatesMatchState) {
+  Regexp re;
+  re.compile("b+");
+  EXPECT_TRUE(re.find("aabbbcc", 0));
+  EXPECT_EQ(re.last_start(), 2);
+  EXPECT_EQ(re.last_end(), 5);
+  EXPECT_EQ(re.match_count(), 1);
+  EXPECT_FALSE(re.find("aabbbcc", 5));
+}
+
+TEST_F(RegexpTest, CountMatches) {
+  Regexp re;
+  re.compile("ab");
+  EXPECT_EQ(re.count_matches("ab xx ab yy ab"), 3);
+  EXPECT_EQ(re.count_matches("none here"), 0);
+}
+
+TEST_F(RegexpTest, ReplaceAll) {
+  Regexp re;
+  re.compile("[0-9]+");
+  EXPECT_EQ(re.replace_all("a1b22c333", "#"), "a#b#c#");
+  EXPECT_EQ(re.replace_all("nodigits", "#"), "nodigits");
+}
+
+TEST_F(RegexpTest, EmptyMatchDoesNotLoopForever) {
+  Regexp re;
+  re.compile("a*");
+  EXPECT_EQ(re.replace_all("bb", "-"), "-b-b-");
+  EXPECT_GE(re.count_matches("bb"), 1);
+}
+
+TEST_F(RegexpTest, AnchorsRestrictPositions) {
+  Regexp re;
+  re.compile("^ab");
+  EXPECT_TRUE(re.find("abxx", 0));
+  EXPECT_FALSE(re.find("xxab", 0));
+  Regexp re2;
+  re2.compile("ab$");
+  EXPECT_TRUE(re2.find("xxab", 0));
+  EXPECT_FALSE(re2.find("abxx", 0));
+}
+
+TEST_F(RegexpTest, CheckProgramValidatesCompiledState) {
+  Regexp re;
+  re.compile("a(b|c)*");
+  EXPECT_NO_THROW(re.check_program());
+  EXPECT_GT(re.node_count(), 3);
+}
+
+TEST_F(RegexpTest, RecompileReplacesProgram) {
+  Regexp re;
+  re.compile("aaa");
+  EXPECT_TRUE(re.matches("aaa"));
+  re.compile("bbb");
+  EXPECT_FALSE(re.matches("aaa"));
+  EXPECT_TRUE(re.matches("bbb"));
+  EXPECT_EQ(re.pattern(), "bbb");
+}

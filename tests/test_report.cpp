@@ -1,0 +1,89 @@
+#include "fatomic/report/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fatomic/detect/experiment.hpp"
+#include "testing/synthetic.hpp"
+
+namespace detect = fatomic::detect;
+namespace report = fatomic::report;
+
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static const report::AppResult& app() {
+    static report::AppResult a = [] {
+      detect::Experiment exp(synthetic::workload);
+      report::AppResult r;
+      r.name = "synthetic";
+      r.language = "C++";
+      r.campaign = exp.run();
+      r.classification = detect::classify(r.campaign);
+      return r;
+    }();
+    return a;
+  }
+
+  void TearDown() override {
+    fatomic::weave::Runtime::instance().set_mode(fatomic::weave::Mode::Direct);
+  }
+};
+
+}  // namespace
+
+TEST_F(ReportTest, SharesSumToHundred) {
+  for (auto shares : {report::method_shares(app()), report::call_shares(app()),
+                      report::class_shares(app())}) {
+    EXPECT_NEAR(shares.atomic + shares.conditional + shares.pure, 100.0, 1e-6);
+  }
+}
+
+TEST_F(ReportTest, MethodSharesMatchCounts) {
+  auto s = report::method_shares(app());
+  const auto& c = app().classification;
+  const double total = static_cast<double>(c.methods.size());
+  EXPECT_NEAR(s.pure,
+              100.0 * c.count_methods(detect::MethodClass::PureNonAtomic) / total,
+              1e-9);
+}
+
+TEST_F(ReportTest, Table1ContainsAppRow) {
+  std::string t = report::table1({app()});
+  EXPECT_NE(t.find("synthetic"), std::string::npos);
+  EXPECT_NE(t.find("#Injections"), std::string::npos);
+  EXPECT_NE(t.find("#Classes"), std::string::npos);
+}
+
+TEST_F(ReportTest, FiguresContainTitleAndRows) {
+  std::string f = report::figure_methods({app()}, "Figure 2(a)");
+  EXPECT_NE(f.find("Figure 2(a)"), std::string::npos);
+  EXPECT_NE(f.find("synthetic"), std::string::npos);
+  EXPECT_NE(report::figure_calls({app()}, "Figure 2(b)").find("% of method"),
+            std::string::npos);
+  EXPECT_NE(report::figure_classes({app()}, "Figure 4").find("% of classes"),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, MethodDetailsListsEveryMethod) {
+  std::string d = report::method_details(app());
+  for (const auto& m : app().classification.methods)
+    EXPECT_NE(d.find(m.method->qualified_name()), std::string::npos);
+}
+
+TEST_F(ReportTest, CsvHasHeaderAndOneRowPerApp) {
+  std::string csv = report::to_csv({app(), app()});
+  std::size_t lines = 0;
+  for (char ch : csv) lines += (ch == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, 3u);  // header + 2 rows
+  EXPECT_NE(csv.find("methods_pure_pct"), std::string::npos);
+}
+
+TEST_F(ReportTest, CallWeightedPureShareSmallerThanMethodShare) {
+  // The paper observes that non-atomic methods are called proportionally
+  // less often than atomic ones; our synthetic workload reproduces that.
+  auto by_method = report::method_shares(app());
+  auto by_calls = report::call_shares(app());
+  EXPECT_GT(by_method.pure, 0.0);
+  EXPECT_GT(by_calls.pure, 0.0);
+}

@@ -1,0 +1,241 @@
+#include "fatomic/snapshot/restore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/types.hpp"
+
+namespace snap = fatomic::snapshot;
+using namespace testing_types;
+
+FAT_POLY(Shape, Circle);
+FAT_POLY(Shape, Rect);
+
+namespace {
+
+/// Capture, mutate via `mutate`, restore, and check the graph round-trips.
+template <class T, class Mutate>
+void roundtrip(T& value, Mutate&& mutate) {
+  snap::Snapshot before = snap::capture(value);
+  mutate(value);
+  ASSERT_FALSE(before.equals(snap::capture(value)))
+      << "mutation must be visible to the snapshot";
+  snap::restore(value, before);
+  EXPECT_TRUE(before.equals(snap::capture(value)))
+      << "restore must reproduce the checkpointed object graph";
+}
+
+}  // namespace
+
+TEST(Restore, Primitives) {
+  Plain p{7, 2.5, true, "abc"};
+  roundtrip(p, [](Plain& v) {
+    v.i = -1;
+    v.d = 0.0;
+    v.b = false;
+    v.s = "mutated";
+  });
+  EXPECT_EQ(p.i, 7);
+  EXPECT_EQ(p.s, "abc");
+}
+
+TEST(Restore, ContainersGrowAndShrink) {
+  Nested n;
+  n.values = {1, 2, 3};
+  n.table = {{"a", 1}};
+  roundtrip(n, [](Nested& v) {
+    v.values.push_back(4);
+    v.table["b"] = 2;
+  });
+  EXPECT_EQ(n.values.size(), 3u);
+  EXPECT_EQ(n.table.size(), 1u);
+
+  roundtrip(n, [](Nested& v) {
+    v.values.clear();
+    v.table.clear();
+  });
+  EXPECT_EQ(n.values.size(), 3u);
+  EXPECT_EQ(n.table.at("a"), 1);
+}
+
+TEST(Restore, OptionalEngagement) {
+  Nested n;
+  n.opt = 5;
+  roundtrip(n, [](Nested& v) { v.opt.reset(); });
+  EXPECT_EQ(n.opt, 5);
+
+  Nested m;  // starts disengaged
+  roundtrip(m, [](Nested& v) { v.opt = 1; });
+  EXPECT_FALSE(m.opt.has_value());
+}
+
+TEST(Restore, UniquePtrReallocatesPointee) {
+  AliasPair p;
+  p.owner = std::make_unique<Plain>(Plain{5, 0, false, "keep"});
+  roundtrip(p, [](AliasPair& v) { v.owner->i = 99; });
+  EXPECT_EQ(p.owner->i, 5);
+  EXPECT_EQ(p.owner->s, "keep");
+}
+
+TEST(Restore, UniquePtrNullTransitions) {
+  AliasPair p;
+  p.owner = std::make_unique<Plain>(Plain{5, 0, false, ""});
+  roundtrip(p, [](AliasPair& v) { v.owner.reset(); });
+  ASSERT_NE(p.owner, nullptr);
+  EXPECT_EQ(p.owner->i, 5);
+
+  AliasPair q;  // starts null
+  roundtrip(q, [](AliasPair& v) {
+    v.owner = std::make_unique<Plain>(Plain{1, 0, false, ""});
+  });
+  EXPECT_EQ(q.owner, nullptr);
+}
+
+TEST(Restore, AliasSharingPreserved) {
+  AliasPair p;
+  p.owner = std::make_unique<Plain>(Plain{5, 0, false, ""});
+  p.alias = p.owner.get();
+  snap::Snapshot before = snap::capture(p);
+  p.owner->i = 42;
+  p.alias = nullptr;
+  snap::restore(p, before);
+  EXPECT_EQ(p.alias, p.owner.get()) << "alias must re-point at the restored owner";
+  EXPECT_EQ(p.owner->i, 5);
+}
+
+TEST(Restore, OwnedRawChain) {
+  LinkList l;
+  l.push_front(1);
+  l.push_front(2);
+  roundtrip(l, [](LinkList& v) {
+    v.push_front(3);
+    v.head->value = -7;
+  });
+  EXPECT_EQ(l.size, 2);
+  ASSERT_NE(l.head, nullptr);
+  EXPECT_EQ(l.head->value, 2);
+  ASSERT_NE(l.head->next, nullptr);
+  EXPECT_EQ(l.head->next->value, 1);
+  EXPECT_EQ(l.head->next->next, nullptr);
+}
+
+TEST(Restore, OwnedRawChainFromEmpty) {
+  LinkList l;
+  roundtrip(l, [](LinkList& v) {
+    v.push_front(1);
+    v.push_front(2);
+  });
+  EXPECT_EQ(l.head, nullptr);
+  EXPECT_EQ(l.size, 0);
+}
+
+TEST(Restore, CyclicOwnedGraph) {
+  Ring r;
+  r.insert(1);
+  r.insert(2);
+  r.insert(3);
+  roundtrip(r, [](Ring& v) { v.insert(4); });
+  EXPECT_EQ(r.count, 3);
+  // Walk the ring: must be cyclic with period 3.
+  RingNode* n = r.entry;
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->next->next->next, n);
+}
+
+TEST(Restore, RingClearedAndRestored) {
+  Ring r;
+  r.insert(10);
+  r.insert(20);
+  roundtrip(r, [](Ring& v) { v.clear(); });
+  EXPECT_EQ(r.count, 2);
+  ASSERT_NE(r.entry, nullptr);
+  EXPECT_EQ(r.entry->next->next, r.entry);
+}
+
+TEST(Restore, RcPtrChain) {
+  RcList l;
+  l.push_front(1);
+  l.push_front(2);
+  roundtrip(l, [](RcList& v) {
+    v.head->value = 0;
+    v.push_front(3);
+  });
+  EXPECT_EQ(l.size, 2);
+  EXPECT_EQ(l.head->value, 2);
+  EXPECT_EQ(l.head->next->value, 1);
+  EXPECT_EQ(l.head->next->next, nullptr);
+}
+
+TEST(Restore, SharedPtrSharingPreserved) {
+  SharedDiamond d;
+  d.left = std::make_shared<Plain>(Plain{1, 0, false, ""});
+  d.right = d.left;
+  snap::Snapshot before = snap::capture(d);
+  d.right = std::make_shared<Plain>(Plain{2, 0, false, ""});
+  d.left->i = 99;
+  snap::restore(d, before);
+  EXPECT_EQ(d.left.get(), d.right.get()) << "diamond sharing must survive restore";
+  EXPECT_EQ(d.left->i, 1);
+  EXPECT_EQ(d.left.use_count(), 2);
+}
+
+TEST(Restore, PolymorphicPointees) {
+  Drawing d;
+  auto c = std::make_unique<Circle>();
+  c->id = 1;
+  c->radius = 3.0;
+  d.shapes.push_back(std::move(c));
+  roundtrip(d, [](Drawing& v) {
+    v.shapes.clear();
+    auto r = std::make_unique<Rect>();
+    r->id = 9;
+    v.shapes.push_back(std::move(r));
+  });
+  ASSERT_EQ(d.shapes.size(), 1u);
+  auto* restored = dynamic_cast<Circle*>(d.shapes[0].get());
+  ASSERT_NE(restored, nullptr) << "restore must re-create the dynamic type";
+  EXPECT_EQ(restored->radius, 3.0);
+}
+
+TEST(Restore, ExternalAliasRestoredInPlace) {
+  // alias points at an object outside the owner edge: restore writes the
+  // checkpointed state back through the captured address.
+  Plain external{5, 0, false, "ext"};
+  AliasPair p;
+  p.alias = &external;
+  snap::Snapshot before = snap::capture(p);
+  external.i = 77;
+  external.s = "changed";
+  snap::restore(p, before);
+  EXPECT_EQ(p.alias, &external);
+  EXPECT_EQ(external.i, 5);
+  EXPECT_EQ(external.s, "ext");
+}
+
+TEST(Restore, TupleRootRestoresArguments) {
+  Plain p{1, 0, false, "a"};
+  int arg = 10;
+  auto root = std::tie(p, arg);
+  snap::Snapshot before = snap::capture(root);
+  p.i = 2;
+  arg = 20;
+  snap::restore(root, before);
+  EXPECT_EQ(p.i, 1);
+  EXPECT_EQ(arg, 10);
+}
+
+TEST(Restore, IdempotentOnUnchangedObject) {
+  Nested n;
+  n.values = {1, 2};
+  n.table = {{"k", 1}};
+  snap::Snapshot before = snap::capture(n);
+  snap::restore(n, before);
+  snap::restore(n, before);
+  EXPECT_TRUE(before.equals(snap::capture(n)));
+}
+
+TEST(Restore, MismatchedSnapshotThrows) {
+  Plain p;
+  Nested n;
+  snap::Snapshot s = snap::capture(p);
+  EXPECT_THROW(snap::restore(n, s), fatomic::SnapshotError);
+}

@@ -1,0 +1,144 @@
+// Detection expectations for the Self* framework and transport subjects:
+// the careful commit-at-end style must classify atomic, the incremental
+// maintenance operations pure non-atomic — the code profile behind the
+// paper's C++ results (Figure 2).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fatomic/detect/classify.hpp"
+#include "fatomic/detect/experiment.hpp"
+#include "subjects/apps/apps.hpp"
+
+namespace detect = fatomic::detect;
+using detect::MethodClass;
+
+namespace {
+
+class SelfStarDetect : public ::testing::Test {
+ protected:
+  static const detect::Classification& classification(const std::string& app) {
+    static std::map<std::string, detect::Classification> cache;
+    auto it = cache.find(app);
+    if (it == cache.end()) {
+      detect::Experiment exp(subjects::apps::app(app).program);
+      it = cache.emplace(app, detect::classify(exp.run())).first;
+    }
+    return it->second;
+  }
+
+  static MethodClass cls_of(const std::string& app,
+                            const std::string& method) {
+    const auto* r = classification(app).find(method);
+    EXPECT_NE(r, nullptr) << method;
+    return r == nullptr ? MethodClass::Atomic : r->cls;
+  }
+
+  void TearDown() override {
+    fatomic::weave::Runtime::instance().set_mode(fatomic::weave::Mode::Direct);
+  }
+};
+
+}  // namespace
+
+TEST_F(SelfStarDetect, ChainProcessingIsAtomic) {
+  EXPECT_EQ(cls_of("adaptorChain", "subjects::selfstar::AdaptorChain::process"),
+            MethodClass::Atomic)
+      << "copy-then-commit processing must survive mid-pipeline failures";
+  EXPECT_EQ(cls_of("adaptorChain", "subjects::selfstar::AdaptorChain::add"),
+            MethodClass::Atomic);
+  EXPECT_EQ(cls_of("adaptorChain", "subjects::selfstar::AdaptorChain::clear"),
+            MethodClass::Atomic);
+}
+
+TEST_F(SelfStarDetect, StatelessAdaptorsAreAtomic) {
+  EXPECT_EQ(
+      cls_of("adaptorChain", "subjects::selfstar::UppercaseAdaptor::handle"),
+      MethodClass::Atomic);
+  EXPECT_EQ(cls_of("adaptorChain", "subjects::selfstar::TagAdaptor::handle"),
+            MethodClass::Atomic);
+  EXPECT_EQ(
+      cls_of("adaptorChain", "subjects::selfstar::FilterAdaptor::handle"),
+      MethodClass::Atomic);
+  EXPECT_EQ(
+      cls_of("adaptorChain", "subjects::selfstar::CollectorSink::handle"),
+      MethodClass::Atomic);
+}
+
+TEST_F(SelfStarDetect, MaintenanceOperationsArePure) {
+  EXPECT_EQ(
+      cls_of("adaptorChain", "subjects::selfstar::AdaptorChain::reconfigure"),
+      MethodClass::PureNonAtomic);
+  EXPECT_EQ(
+      cls_of("adaptorChain", "subjects::selfstar::AdaptorChain::process_all"),
+      MethodClass::PureNonAtomic)
+      << "batch processing commits message by message";
+}
+
+TEST_F(SelfStarDetect, QueuePumpLosesMessagesOnFailure) {
+  EXPECT_EQ(cls_of("stdQ", "subjects::selfstar::EventQueue::pump"),
+            MethodClass::PureNonAtomic)
+      << "a message is already dequeued when processing fails";
+  EXPECT_EQ(cls_of("stdQ", "subjects::selfstar::EventQueue::enqueue"),
+            MethodClass::Atomic);
+  EXPECT_EQ(cls_of("stdQ", "subjects::selfstar::EventQueue::dequeue"),
+            MethodClass::Atomic);
+  EXPECT_EQ(cls_of("stdQ", "subjects::selfstar::EventQueue::drain_to"),
+            MethodClass::PureNonAtomic);
+}
+
+TEST_F(SelfStarDetect, TransportCarefulVsIncremental) {
+  EXPECT_EQ(cls_of("xml2Ctcp", "subjects::net::Transport::send"),
+            MethodClass::Atomic)
+      << "resolve + deliver first, count last";
+  EXPECT_EQ(cls_of("xml2Ctcp", "subjects::net::Transport::open"),
+            MethodClass::Atomic);
+  EXPECT_EQ(cls_of("xml2Ctcp", "subjects::net::Transport::recv"),
+            MethodClass::Atomic);
+  EXPECT_EQ(cls_of("xml2Ctcp", "subjects::net::Transport::broadcast"),
+            MethodClass::PureNonAtomic);
+  EXPECT_EQ(cls_of("xml2Ctcp", "subjects::net::Channel::deliver"),
+            MethodClass::Atomic);
+  EXPECT_EQ(cls_of("xml2Ctcp", "subjects::net::Channel::take"),
+            MethodClass::Atomic);
+}
+
+TEST_F(SelfStarDetect, XmlDocumentCommitStyle) {
+  EXPECT_EQ(cls_of("xml2xml1", "subjects::xml::XmlDocument::parse"),
+            MethodClass::Atomic)
+      << "parse into a temporary, commit with one move";
+  EXPECT_EQ(cls_of("xml2xml1", "subjects::xml::XmlDocument::add_child"),
+            MethodClass::Atomic);
+  EXPECT_EQ(cls_of("xml2xml1", "subjects::xml::XmlDocument::serialize"),
+            MethodClass::Atomic);
+  EXPECT_EQ(cls_of("xml2xml1", "subjects::xml::XmlDocument::rename_all"),
+            MethodClass::PureNonAtomic);
+}
+
+TEST_F(SelfStarDetect, AssemblyIsPureButRare) {
+  const auto& cls = classification("xml2Cviasc1");
+  const auto* assemble =
+      cls.find("subjects::selfstar::ComponentFactory::assemble");
+  ASSERT_NE(assemble, nullptr);
+  EXPECT_EQ(assemble->cls, MethodClass::PureNonAtomic);
+  EXPECT_EQ(assemble->calls, 1u) << "assembly runs once per program";
+  const auto* build = cls.find("subjects::selfstar::ComponentFactory::build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->cls, MethodClass::Atomic)
+      << "build counts only after construction succeeded";
+}
+
+TEST_F(SelfStarDetect, PureCallShareStaysSmallInCppSuite) {
+  for (const char* app :
+       {"adaptorChain", "stdQ", "xml2Ctcp", "xml2Cviasc1", "xml2xml1"}) {
+    const auto& cls = classification(app);
+    std::uint64_t total = 0, pure = 0;
+    for (const auto& m : cls.methods) {
+      total += m.calls;
+      if (m.cls == MethodClass::PureNonAtomic) pure += m.calls;
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_LT(static_cast<double>(pure) / static_cast<double>(total), 0.02)
+        << app << ": the C++ suite's pure non-atomic methods are rare calls";
+  }
+}

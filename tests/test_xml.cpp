@@ -1,0 +1,128 @@
+// Functional tests for the XML DOM subject.
+#include <gtest/gtest.h>
+
+#include "fatomic/weave/runtime.hpp"
+#include "subjects/xml/xml.hpp"
+
+using namespace subjects::xml;
+
+namespace {
+class XmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fatomic::weave::Runtime::instance().set_mode(fatomic::weave::Mode::Direct);
+  }
+};
+}  // namespace
+
+TEST_F(XmlTest, ParsesSimpleDocument) {
+  XmlDocument doc;
+  doc.parse("<root><child>hello</child></root>");
+  EXPECT_TRUE(doc.loaded());
+  EXPECT_EQ(doc.root_name(), "root");
+  EXPECT_EQ(doc.first_text("child"), "hello");
+}
+
+TEST_F(XmlTest, ParsesAttributes) {
+  XmlDocument doc;
+  doc.parse("<a x=\"1\" y=\"two\"><b z=\"3\"/></a>");
+  EXPECT_EQ(doc.attribute("a", "x"), "1");
+  EXPECT_EQ(doc.attribute("a", "y"), "two");
+  EXPECT_EQ(doc.attribute("b", "z"), "3");
+  EXPECT_THROW(doc.attribute("a", "nope"), XmlError);
+  EXPECT_THROW(doc.attribute("nope", "x"), XmlError);
+}
+
+TEST_F(XmlTest, SelfClosingAndNesting) {
+  XmlDocument doc;
+  doc.parse("<a><b/><c><d/></c><b/></a>");
+  EXPECT_EQ(doc.count("b"), 2);
+  EXPECT_EQ(doc.count("d"), 1);
+  EXPECT_EQ(doc.count("nope"), 0);
+}
+
+TEST_F(XmlTest, EntitiesRoundTrip) {
+  XmlDocument doc;
+  doc.parse("<t>&lt;tag&gt; &amp; more</t>");
+  EXPECT_EQ(doc.first_text("t"), "<tag> & more");
+  const std::string out = doc.serialize();
+  XmlDocument again;
+  again.parse(out);
+  EXPECT_EQ(again.first_text("t"), "<tag> & more");
+}
+
+TEST_F(XmlTest, RejectsMalformedInput) {
+  XmlDocument doc;
+  EXPECT_THROW(doc.parse("<a><b></a></b>"), XmlError);
+  EXPECT_THROW(doc.parse("<a>"), XmlError);
+  EXPECT_THROW(doc.parse("no tags"), XmlError);
+  EXPECT_THROW(doc.parse("<a></a><b></b>"), XmlError);
+  EXPECT_THROW(doc.parse("<a attr=x></a>"), XmlError);
+}
+
+TEST_F(XmlTest, FailedParseLeavesDocumentIntact) {
+  XmlDocument doc;
+  doc.parse("<keep>me</keep>");
+  EXPECT_THROW(doc.parse("<broken>"), XmlError);
+  EXPECT_EQ(doc.root_name(), "keep") << "parse must commit only on success";
+  EXPECT_EQ(doc.first_text("keep"), "me");
+}
+
+TEST_F(XmlTest, AddChildAppends) {
+  XmlDocument doc;
+  doc.parse("<root/>");
+  doc.add_child("root", "item", "one");
+  doc.add_child("root", "item", "two");
+  EXPECT_EQ(doc.count("item"), 2);
+  EXPECT_EQ(doc.first_text("item"), "one");
+  EXPECT_THROW(doc.add_child("missing", "x", ""), XmlError);
+}
+
+TEST_F(XmlTest, RemoveOperations) {
+  XmlDocument doc;
+  doc.parse("<r><x/><y/><x/><x/></r>");
+  EXPECT_TRUE(doc.remove_first("x"));
+  EXPECT_EQ(doc.count("x"), 2);
+  EXPECT_EQ(doc.remove_all("x"), 2);
+  EXPECT_EQ(doc.count("x"), 0);
+  EXPECT_FALSE(doc.remove_first("x"));
+  EXPECT_EQ(doc.count("y"), 1);
+}
+
+TEST_F(XmlTest, RenameOperations) {
+  XmlDocument doc;
+  doc.parse("<r><old/><old/><other/></r>");
+  EXPECT_TRUE(doc.rename_first("old", "fresh"));
+  EXPECT_EQ(doc.count("fresh"), 1);
+  EXPECT_EQ(doc.rename_all("old", "fresh"), 1);
+  EXPECT_EQ(doc.count("fresh"), 2);
+  EXPECT_FALSE(doc.rename_first("old", "fresh"));
+}
+
+TEST_F(XmlTest, SerializeRoundTrip) {
+  const std::string src =
+      "<cfg version=\"2\"><item id=\"1\">alpha</item><empty/></cfg>";
+  XmlDocument doc;
+  doc.parse(src);
+  XmlDocument again;
+  again.parse(doc.serialize());
+  EXPECT_EQ(again.attribute("cfg", "version"), "2");
+  EXPECT_EQ(again.first_text("item"), "alpha");
+  EXPECT_EQ(again.count("empty"), 1);
+}
+
+TEST_F(XmlTest, ValidateAndClear) {
+  XmlDocument doc;
+  EXPECT_THROW(doc.validate(), XmlError);
+  EXPECT_THROW(doc.serialize(), XmlError);
+  doc.parse("<ok/>");
+  EXPECT_NO_THROW(doc.validate());
+  doc.clear();
+  EXPECT_FALSE(doc.loaded());
+}
+
+TEST_F(XmlTest, WhitespaceHandling) {
+  XmlDocument doc;
+  doc.parse("<r>\n  <t>  padded text  </t>\n</r>");
+  EXPECT_EQ(doc.first_text("t"), "padded text");
+}

@@ -1,0 +1,155 @@
+// Synthetic benchmark subject — the analogue of the paper's synthetic C++
+// and Java benchmark applications (Section 6, first paragraph), containing
+// "the various combinations of (pure/conditional) failure (non-)atomic
+// methods that may be encountered in real applications".
+//
+// Expected classification under a full injection campaign over workload():
+//   Account::set               atomic       (no fallible operation at all)
+//   Account::helper            atomic       (read-only)
+//   Account::atomic_update     atomic       (mutates only after the last
+//                                            fallible call)
+//   Account::nonatomic_update  PURE         (mutates before a fallible call)
+//   Account::calls_nonatomic   CONDITIONAL  (non-atomic only because its
+//                                            callee is)
+//   Account::add_once          atomic
+//   Account::batch_add         PURE         (partial loop progress)
+//   Account::guarded_batch     CONDITIONAL
+//   Account::sloppy_withdraw   PURE         (a *real* exception bug: throws
+//                                            after mutating)
+//   Account::safe_withdraw     atomic       (throws before mutating)
+//   Account::transfer_all      PURE         (mutates the by-reference
+//                                            argument before a fallible call)
+//   Account::(ctor)            atomic
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+
+namespace synthetic {
+
+class BankError : public std::runtime_error {
+ public:
+  BankError() : std::runtime_error("bank error") {}
+};
+
+class Account {
+ public:
+  Account() { FAT_CTOR_ENTRY(); }
+
+  int value() const { return value_; }
+
+  void set(int v) {
+    FAT_INVOKE(set, [&] { value_ = v; });
+  }
+
+  int helper() {
+    return FAT_INVOKE(helper, [&] { return value_; });
+  }
+
+  void atomic_update(int v) {
+    FAT_INVOKE(atomic_update, [&] {
+      int base = helper();  // fallible (injection point at entry)
+      value_ = base + v;    // mutation strictly after the fallible call
+    });
+  }
+
+  void nonatomic_update(int v) {
+    FAT_INVOKE(nonatomic_update, [&] {
+      value_ = v;  // mutation before the fallible call: the classic bug
+      helper();
+    });
+  }
+
+  void calls_nonatomic(int v) {
+    FAT_INVOKE(calls_nonatomic, [&] { nonatomic_update(v); });
+  }
+
+  void add_once(int v) {
+    FAT_INVOKE(add_once, [&] { value_ += v; });
+  }
+
+  void batch_add(const std::vector<int>& vs) {
+    FAT_INVOKE(batch_add, [&] {
+      for (int v : vs) add_once(v);  // partial progress on mid-loop failure
+    });
+  }
+
+  void guarded_batch(const std::vector<int>& vs) {
+    FAT_INVOKE(guarded_batch, [&] { batch_add(vs); });
+  }
+
+  void safe_withdraw(int amount) {
+    FAT_INVOKE(safe_withdraw, [&] {
+      if (amount > value_) throw BankError();  // check-then-act: atomic
+      value_ -= amount;
+    });
+  }
+
+  void sloppy_withdraw(int amount) {
+    FAT_INVOKE(sloppy_withdraw, [&] {
+      value_ -= amount;                      // act ...
+      if (value_ < 0) throw BankError();     // ... then check: real bug
+    });
+  }
+
+  void transfer_all(Account& other) {
+    FAT_INVOKE_ARGS(transfer_all, std::tie(other), [&] {
+      other.value_ += value_;  // argument mutated before the fallible call
+      helper();
+      value_ = 0;
+    });
+  }
+
+ private:
+  FAT_REFLECT_FRIEND(Account);
+  FAT_CTOR_INFO(synthetic::Account);
+  FAT_METHOD_INFO(synthetic::Account, set);
+  FAT_METHOD_INFO(synthetic::Account, helper);
+  FAT_METHOD_INFO(synthetic::Account, atomic_update);
+  FAT_METHOD_INFO(synthetic::Account, nonatomic_update,
+                  FAT_THROWS(synthetic::BankError));
+  FAT_METHOD_INFO(synthetic::Account, calls_nonatomic);
+  FAT_METHOD_INFO(synthetic::Account, add_once);
+  FAT_METHOD_INFO(synthetic::Account, batch_add);
+  FAT_METHOD_INFO(synthetic::Account, guarded_batch);
+  FAT_METHOD_INFO(synthetic::Account, safe_withdraw,
+                  FAT_THROWS(synthetic::BankError));
+  FAT_METHOD_INFO(synthetic::Account, sloppy_withdraw,
+                  FAT_THROWS(synthetic::BankError));
+  FAT_METHOD_INFO(synthetic::Account, transfer_all);
+
+  int value_ = 0;
+};
+
+/// Deterministic workload exercising every method; completes normally when
+/// no exception is injected (real exceptions are caught and recovered).
+inline void workload() {
+  Account a;
+  a.set(10);
+  a.helper();
+  a.atomic_update(5);
+  a.nonatomic_update(3);
+  a.calls_nonatomic(4);
+  a.add_once(1);
+  a.batch_add({1, 2, 3});
+  a.guarded_batch({4, 5});
+  try {
+    a.safe_withdraw(1000000);  // triggers the real check-then-act exception
+  } catch (const BankError&) {
+  }
+  try {
+    a.sloppy_withdraw(1000000);  // triggers the real act-then-check bug
+  } catch (const BankError&) {
+  }
+  a.set(20);
+  Account b;
+  b.set(7);
+  a.transfer_all(b);
+}
+
+}  // namespace synthetic
+
+FAT_REFLECT(synthetic::Account, FAT_FIELD(synthetic::Account, value_));

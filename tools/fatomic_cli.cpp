@@ -1,0 +1,198 @@
+// fatomic_cli — command-line driver over the subject applications: run
+// detection campaigns, print the paper-style reports, emit JSON/CSV/dot, and
+// verify masking.  The programmatic stand-in for the paper's web interface.
+//
+// Usage:
+//   fatomic_cli --list
+//   fatomic_cli --app LinkedList [--details] [--json] [--dot] [--suggest]
+//   fatomic_cli --app HashedMap --mask-verify
+//   fatomic_cli --app LinkedList --exception-free Class::method --details
+//   fatomic_cli --all [--language C++|Java] [--csv]
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fatomic/fatomic.hpp"
+#include "subjects/apps/apps.hpp"
+
+namespace detect = fatomic::detect;
+namespace report = fatomic::report;
+
+namespace {
+
+struct Args {
+  std::string app;
+  std::string language;
+  std::vector<std::string> exception_free;
+  bool list = false;
+  bool all = false;
+  bool details = false;
+  bool json = false;
+  bool dot = false;
+  bool csv = false;
+  bool suggest = false;
+  bool mask_verify = false;
+  bool diffs = false;
+  bool help = false;
+};
+
+int usage(int code) {
+  std::cout <<
+      "fatomic_cli -- detection/masking campaigns over the subject apps\n"
+      "  --list                 list the available applications\n"
+      "  --app NAME             run a campaign for one application\n"
+      "  --all                  run campaigns for every application\n"
+      "  --language L           with --all: restrict to suite 'C++'/'Java'\n"
+      "  --details              per-method classification table\n"
+      "  --json                 classification + campaign as JSON\n"
+      "  --dot                  dynamic call graph as Graphviz dot\n"
+      "  --suggest              suggest exception-free declarations\n"
+      "  --exception-free M     declare method M exception-free (repeatable)\n"
+      "  --mask-verify          mask pure methods and re-verify (exit != 0\n"
+      "                         when non-atomic methods remain)\n"
+      "  --diffs                attach a graph-diff example to each\n"
+      "                         non-atomic method in --details output\n"
+      "  --csv                  with --all: CSV summary\n";
+  return code;
+}
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--list") {
+      args.list = true;
+    } else if (a == "--all") {
+      args.all = true;
+    } else if (a == "--details") {
+      args.details = true;
+    } else if (a == "--json") {
+      args.json = true;
+    } else if (a == "--dot") {
+      args.dot = true;
+    } else if (a == "--csv") {
+      args.csv = true;
+    } else if (a == "--suggest") {
+      args.suggest = true;
+    } else if (a == "--diffs") {
+      args.diffs = true;
+    } else if (a == "--mask-verify") {
+      args.mask_verify = true;
+    } else if (a == "--help" || a == "-h") {
+      args.help = true;
+    } else if (a == "--app") {
+      const char* v = value();
+      if (!v) return false;
+      args.app = v;
+    } else if (a == "--language") {
+      const char* v = value();
+      if (!v) return false;
+      args.language = v;
+    } else if (a == "--exception-free") {
+      const char* v = value();
+      if (!v) return false;
+      args.exception_free.push_back(v);
+    } else {
+      std::cerr << "unknown option: " << a << '\n';
+      return false;
+    }
+  }
+  return true;
+}
+
+report::AppResult run_campaign(const subjects::apps::App& app,
+                               const detect::Policy& policy,
+                               bool record_diffs = false) {
+  detect::Options opts;
+  opts.record_diffs = record_diffs;
+  detect::Experiment exp(app.program, std::move(opts));
+  report::AppResult r;
+  r.name = app.name;
+  r.language = app.language;
+  r.campaign = exp.run();
+  r.classification = detect::classify(r.campaign, policy);
+  return r;
+}
+
+int run_one(const Args& args) {
+  const auto& app = subjects::apps::app(args.app);
+  detect::Policy policy;
+  for (const auto& m : args.exception_free) policy.exception_free.insert(m);
+
+  report::AppResult result = run_campaign(app, policy, args.diffs);
+  const auto& cls = result.classification;
+
+  std::cout << app.name << " (" << app.language << "): "
+            << result.campaign.injections() << " injections, "
+            << cls.count_methods(detect::MethodClass::Atomic) << " atomic / "
+            << cls.count_methods(detect::MethodClass::ConditionalNonAtomic)
+            << " conditional / "
+            << cls.count_methods(detect::MethodClass::PureNonAtomic)
+            << " pure non-atomic methods\n";
+
+  if (args.details) std::cout << '\n' << report::method_details(result);
+  if (args.json)
+    std::cout << '\n'
+              << report::classification_json(cls) << '\n'
+              << report::campaign_json(result.campaign) << '\n';
+  if (args.dot) {
+    auto graph = detect::CallGraph::from(result.campaign);
+    std::cout << '\n' << graph.to_dot(&cls);
+  }
+  if (args.suggest) {
+    std::cout << "\nexception-free candidates (each fully explains the "
+                 "non-atomicity of at least one method):\n";
+    for (const auto& site : detect::suggest_exception_free(result.campaign))
+      std::cout << "  " << site << '\n';
+  }
+  if (args.mask_verify) {
+    auto verified = fatomic::mask::verify_masked(
+        app.program, fatomic::mask::wrap_pure(cls, policy), policy);
+    const auto remaining = verified.nonatomic_names();
+    std::cout << "\nmask verification: " << remaining.size()
+              << " non-atomic methods remain\n";
+    for (const auto& name : remaining) std::cout << "  " << name << '\n';
+    return remaining.empty() ? 0 : 2;
+  }
+  return 0;
+}
+
+int run_all(const Args& args) {
+  std::vector<report::AppResult> results;
+  for (const auto& app : subjects::apps::all_apps()) {
+    if (!args.language.empty() && app.language != args.language) continue;
+    results.push_back(run_campaign(app, detect::Policy{}));
+  }
+  std::cout << report::table1(results) << '\n';
+  std::cout << report::figure_methods(results, "method classification")
+            << '\n';
+  std::cout << report::figure_calls(results, "classification by calls")
+            << '\n';
+  std::cout << report::figure_classes(results, "class distribution") << '\n';
+  if (args.csv) std::cout << report::to_csv(results);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return usage(1);
+  if (args.help || (argc == 1)) return usage(0);
+  if (args.list) {
+    for (const auto& app : subjects::apps::all_apps())
+      std::cout << app.name << " (" << app.language << ")\n";
+    return 0;
+  }
+  try {
+    if (args.all) return run_all(args);
+    if (!args.app.empty()) return run_one(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage(1);
+}
