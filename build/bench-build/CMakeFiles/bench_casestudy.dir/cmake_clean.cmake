@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_casestudy"
+  "../bench/bench_casestudy.pdb"
+  "CMakeFiles/bench_casestudy.dir/bench_casestudy.cpp.o"
+  "CMakeFiles/bench_casestudy.dir/bench_casestudy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3.cpp" "bench-build/CMakeFiles/bench_fig3.dir/bench_fig3.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig3.dir/bench_fig3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fatomic/CMakeFiles/fatomic.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/apps/CMakeFiles/subjects_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/collections/CMakeFiles/subjects_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/net/CMakeFiles/subjects_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/regexp/CMakeFiles/subjects_regexp.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/selfstar/CMakeFiles/subjects_selfstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/xml/CMakeFiles/subjects_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

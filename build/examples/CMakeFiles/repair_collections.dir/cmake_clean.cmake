@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_collections.dir/repair_collections.cpp.o"
+  "CMakeFiles/repair_collections.dir/repair_collections.cpp.o.d"
+  "repair_collections"
+  "repair_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstar_pipeline.dir/selfstar_pipeline.cpp.o"
+  "CMakeFiles/selfstar_pipeline.dir/selfstar_pipeline.cpp.o.d"
+  "selfstar_pipeline"
+  "selfstar_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstar_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

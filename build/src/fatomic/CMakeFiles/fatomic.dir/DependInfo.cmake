@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fatomic/detect/callgraph.cpp" "src/fatomic/CMakeFiles/fatomic.dir/detect/callgraph.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/detect/callgraph.cpp.o.d"
+  "/root/repo/src/fatomic/detect/classify.cpp" "src/fatomic/CMakeFiles/fatomic.dir/detect/classify.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/detect/classify.cpp.o.d"
+  "/root/repo/src/fatomic/detect/experiment.cpp" "src/fatomic/CMakeFiles/fatomic.dir/detect/experiment.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/detect/experiment.cpp.o.d"
+  "/root/repo/src/fatomic/mask/masker.cpp" "src/fatomic/CMakeFiles/fatomic.dir/mask/masker.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/mask/masker.cpp.o.d"
+  "/root/repo/src/fatomic/report/json.cpp" "src/fatomic/CMakeFiles/fatomic.dir/report/json.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/report/json.cpp.o.d"
+  "/root/repo/src/fatomic/report/report.cpp" "src/fatomic/CMakeFiles/fatomic.dir/report/report.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/report/report.cpp.o.d"
+  "/root/repo/src/fatomic/snapshot/diff.cpp" "src/fatomic/CMakeFiles/fatomic.dir/snapshot/diff.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/snapshot/diff.cpp.o.d"
+  "/root/repo/src/fatomic/snapshot/node.cpp" "src/fatomic/CMakeFiles/fatomic.dir/snapshot/node.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/snapshot/node.cpp.o.d"
+  "/root/repo/src/fatomic/snapshot/poly.cpp" "src/fatomic/CMakeFiles/fatomic.dir/snapshot/poly.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/snapshot/poly.cpp.o.d"
+  "/root/repo/src/fatomic/weave/method_info.cpp" "src/fatomic/CMakeFiles/fatomic.dir/weave/method_info.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/weave/method_info.cpp.o.d"
+  "/root/repo/src/fatomic/weave/runtime.cpp" "src/fatomic/CMakeFiles/fatomic.dir/weave/runtime.cpp.o" "gcc" "src/fatomic/CMakeFiles/fatomic.dir/weave/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

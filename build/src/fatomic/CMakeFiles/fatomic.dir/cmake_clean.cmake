@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatomic.dir/detect/callgraph.cpp.o"
+  "CMakeFiles/fatomic.dir/detect/callgraph.cpp.o.d"
+  "CMakeFiles/fatomic.dir/detect/classify.cpp.o"
+  "CMakeFiles/fatomic.dir/detect/classify.cpp.o.d"
+  "CMakeFiles/fatomic.dir/detect/experiment.cpp.o"
+  "CMakeFiles/fatomic.dir/detect/experiment.cpp.o.d"
+  "CMakeFiles/fatomic.dir/mask/masker.cpp.o"
+  "CMakeFiles/fatomic.dir/mask/masker.cpp.o.d"
+  "CMakeFiles/fatomic.dir/report/json.cpp.o"
+  "CMakeFiles/fatomic.dir/report/json.cpp.o.d"
+  "CMakeFiles/fatomic.dir/report/report.cpp.o"
+  "CMakeFiles/fatomic.dir/report/report.cpp.o.d"
+  "CMakeFiles/fatomic.dir/snapshot/diff.cpp.o"
+  "CMakeFiles/fatomic.dir/snapshot/diff.cpp.o.d"
+  "CMakeFiles/fatomic.dir/snapshot/node.cpp.o"
+  "CMakeFiles/fatomic.dir/snapshot/node.cpp.o.d"
+  "CMakeFiles/fatomic.dir/snapshot/poly.cpp.o"
+  "CMakeFiles/fatomic.dir/snapshot/poly.cpp.o.d"
+  "CMakeFiles/fatomic.dir/weave/method_info.cpp.o"
+  "CMakeFiles/fatomic.dir/weave/method_info.cpp.o.d"
+  "CMakeFiles/fatomic.dir/weave/runtime.cpp.o"
+  "CMakeFiles/fatomic.dir/weave/runtime.cpp.o.d"
+  "libfatomic.a"
+  "libfatomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

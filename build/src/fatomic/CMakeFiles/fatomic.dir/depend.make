@@ -1,0 +1,2 @@
+# Empty dependencies file for fatomic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/subjects
+# Build directory: /root/repo/build/src/subjects
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("collections")
+subdirs("regexp")
+subdirs("xml")
+subdirs("net")
+subdirs("selfstar")
+subdirs("apps")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subjects_apps.dir/apps.cpp.o"
+  "CMakeFiles/subjects_apps.dir/apps.cpp.o.d"
+  "libsubjects_apps.a"
+  "libsubjects_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subjects_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subjects/collections/circular_list.cpp" "src/subjects/collections/CMakeFiles/subjects_collections.dir/circular_list.cpp.o" "gcc" "src/subjects/collections/CMakeFiles/subjects_collections.dir/circular_list.cpp.o.d"
+  "/root/repo/src/subjects/collections/dynarray.cpp" "src/subjects/collections/CMakeFiles/subjects_collections.dir/dynarray.cpp.o" "gcc" "src/subjects/collections/CMakeFiles/subjects_collections.dir/dynarray.cpp.o.d"
+  "/root/repo/src/subjects/collections/hashed_map.cpp" "src/subjects/collections/CMakeFiles/subjects_collections.dir/hashed_map.cpp.o" "gcc" "src/subjects/collections/CMakeFiles/subjects_collections.dir/hashed_map.cpp.o.d"
+  "/root/repo/src/subjects/collections/hashed_set.cpp" "src/subjects/collections/CMakeFiles/subjects_collections.dir/hashed_set.cpp.o" "gcc" "src/subjects/collections/CMakeFiles/subjects_collections.dir/hashed_set.cpp.o.d"
+  "/root/repo/src/subjects/collections/linked_buffer.cpp" "src/subjects/collections/CMakeFiles/subjects_collections.dir/linked_buffer.cpp.o" "gcc" "src/subjects/collections/CMakeFiles/subjects_collections.dir/linked_buffer.cpp.o.d"
+  "/root/repo/src/subjects/collections/linked_list.cpp" "src/subjects/collections/CMakeFiles/subjects_collections.dir/linked_list.cpp.o" "gcc" "src/subjects/collections/CMakeFiles/subjects_collections.dir/linked_list.cpp.o.d"
+  "/root/repo/src/subjects/collections/linked_list_fixed.cpp" "src/subjects/collections/CMakeFiles/subjects_collections.dir/linked_list_fixed.cpp.o" "gcc" "src/subjects/collections/CMakeFiles/subjects_collections.dir/linked_list_fixed.cpp.o.d"
+  "/root/repo/src/subjects/collections/ll_map.cpp" "src/subjects/collections/CMakeFiles/subjects_collections.dir/ll_map.cpp.o" "gcc" "src/subjects/collections/CMakeFiles/subjects_collections.dir/ll_map.cpp.o.d"
+  "/root/repo/src/subjects/collections/rb_map.cpp" "src/subjects/collections/CMakeFiles/subjects_collections.dir/rb_map.cpp.o" "gcc" "src/subjects/collections/CMakeFiles/subjects_collections.dir/rb_map.cpp.o.d"
+  "/root/repo/src/subjects/collections/rb_tree.cpp" "src/subjects/collections/CMakeFiles/subjects_collections.dir/rb_tree.cpp.o" "gcc" "src/subjects/collections/CMakeFiles/subjects_collections.dir/rb_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fatomic/CMakeFiles/fatomic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subjects_collections.dir/circular_list.cpp.o"
+  "CMakeFiles/subjects_collections.dir/circular_list.cpp.o.d"
+  "CMakeFiles/subjects_collections.dir/dynarray.cpp.o"
+  "CMakeFiles/subjects_collections.dir/dynarray.cpp.o.d"
+  "CMakeFiles/subjects_collections.dir/hashed_map.cpp.o"
+  "CMakeFiles/subjects_collections.dir/hashed_map.cpp.o.d"
+  "CMakeFiles/subjects_collections.dir/hashed_set.cpp.o"
+  "CMakeFiles/subjects_collections.dir/hashed_set.cpp.o.d"
+  "CMakeFiles/subjects_collections.dir/linked_buffer.cpp.o"
+  "CMakeFiles/subjects_collections.dir/linked_buffer.cpp.o.d"
+  "CMakeFiles/subjects_collections.dir/linked_list.cpp.o"
+  "CMakeFiles/subjects_collections.dir/linked_list.cpp.o.d"
+  "CMakeFiles/subjects_collections.dir/linked_list_fixed.cpp.o"
+  "CMakeFiles/subjects_collections.dir/linked_list_fixed.cpp.o.d"
+  "CMakeFiles/subjects_collections.dir/ll_map.cpp.o"
+  "CMakeFiles/subjects_collections.dir/ll_map.cpp.o.d"
+  "CMakeFiles/subjects_collections.dir/rb_map.cpp.o"
+  "CMakeFiles/subjects_collections.dir/rb_map.cpp.o.d"
+  "CMakeFiles/subjects_collections.dir/rb_tree.cpp.o"
+  "CMakeFiles/subjects_collections.dir/rb_tree.cpp.o.d"
+  "libsubjects_collections.a"
+  "libsubjects_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subjects_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsubjects_collections.a"
+)

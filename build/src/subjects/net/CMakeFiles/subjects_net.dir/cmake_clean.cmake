@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subjects_net.dir/transport.cpp.o"
+  "CMakeFiles/subjects_net.dir/transport.cpp.o.d"
+  "libsubjects_net.a"
+  "libsubjects_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subjects_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

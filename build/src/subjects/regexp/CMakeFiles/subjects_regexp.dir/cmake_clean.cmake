@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subjects_regexp.dir/regexp.cpp.o"
+  "CMakeFiles/subjects_regexp.dir/regexp.cpp.o.d"
+  "libsubjects_regexp.a"
+  "libsubjects_regexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subjects_regexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

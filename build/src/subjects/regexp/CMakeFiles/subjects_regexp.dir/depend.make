@@ -1,0 +1,2 @@
+# Empty dependencies file for subjects_regexp.
+# This may be replaced when dependencies are built.

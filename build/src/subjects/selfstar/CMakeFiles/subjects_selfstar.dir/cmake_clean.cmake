@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subjects_selfstar.dir/selfstar.cpp.o"
+  "CMakeFiles/subjects_selfstar.dir/selfstar.cpp.o.d"
+  "libsubjects_selfstar.a"
+  "libsubjects_selfstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subjects_selfstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subjects_xml.dir/xml.cpp.o"
+  "CMakeFiles/subjects_xml.dir/xml.cpp.o.d"
+  "libsubjects_xml.a"
+  "libsubjects_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subjects_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

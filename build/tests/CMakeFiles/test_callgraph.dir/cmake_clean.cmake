@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_callgraph.dir/test_callgraph.cpp.o"
+  "CMakeFiles/test_callgraph.dir/test_callgraph.cpp.o.d"
+  "test_callgraph"
+  "test_callgraph.pdb"
+  "test_callgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

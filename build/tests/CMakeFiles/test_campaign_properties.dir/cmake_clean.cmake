@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_campaign_properties.dir/test_campaign_properties.cpp.o"
+  "CMakeFiles/test_campaign_properties.dir/test_campaign_properties.cpp.o.d"
+  "test_campaign_properties"
+  "test_campaign_properties.pdb"
+  "test_campaign_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_campaign_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

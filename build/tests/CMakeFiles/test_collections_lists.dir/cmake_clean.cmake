@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collections_lists.dir/test_collections_lists.cpp.o"
+  "CMakeFiles/test_collections_lists.dir/test_collections_lists.cpp.o.d"
+  "test_collections_lists"
+  "test_collections_lists.pdb"
+  "test_collections_lists[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collections_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collections_maps.dir/test_collections_maps.cpp.o"
+  "CMakeFiles/test_collections_maps.dir/test_collections_maps.cpp.o.d"
+  "test_collections_maps"
+  "test_collections_maps.pdb"
+  "test_collections_maps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collections_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

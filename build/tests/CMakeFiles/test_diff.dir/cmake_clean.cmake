@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diff.dir/test_diff.cpp.o"
+  "CMakeFiles/test_diff.dir/test_diff.cpp.o.d"
+  "test_diff"
+  "test_diff.pdb"
+  "test_diff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

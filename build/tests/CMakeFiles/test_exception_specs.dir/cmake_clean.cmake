@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exception_specs.dir/test_exception_specs.cpp.o"
+  "CMakeFiles/test_exception_specs.dir/test_exception_specs.cpp.o.d"
+  "test_exception_specs"
+  "test_exception_specs.pdb"
+  "test_exception_specs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exception_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

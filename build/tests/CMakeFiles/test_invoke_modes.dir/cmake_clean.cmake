@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invoke_modes.dir/test_invoke_modes.cpp.o"
+  "CMakeFiles/test_invoke_modes.dir/test_invoke_modes.cpp.o.d"
+  "test_invoke_modes"
+  "test_invoke_modes.pdb"
+  "test_invoke_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invoke_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

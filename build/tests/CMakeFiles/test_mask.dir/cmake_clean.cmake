@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mask.dir/test_mask.cpp.o"
+  "CMakeFiles/test_mask.dir/test_mask.cpp.o.d"
+  "test_mask"
+  "test_mask.pdb"
+  "test_mask[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masked_equivalence.dir/test_masked_equivalence.cpp.o"
+  "CMakeFiles/test_masked_equivalence.dir/test_masked_equivalence.cpp.o.d"
+  "test_masked_equivalence"
+  "test_masked_equivalence.pdb"
+  "test_masked_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masked_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_selfstar.dir/test_net_selfstar.cpp.o"
+  "CMakeFiles/test_net_selfstar.dir/test_net_selfstar.cpp.o.d"
+  "test_net_selfstar"
+  "test_net_selfstar.pdb"
+  "test_net_selfstar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_selfstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc_ptr.dir/test_rc_ptr.cpp.o"
+  "CMakeFiles/test_rc_ptr.dir/test_rc_ptr.cpp.o.d"
+  "test_rc_ptr"
+  "test_rc_ptr.pdb"
+  "test_rc_ptr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc_ptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

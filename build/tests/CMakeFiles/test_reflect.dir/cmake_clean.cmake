@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reflect.dir/test_reflect.cpp.o"
+  "CMakeFiles/test_reflect.dir/test_reflect.cpp.o.d"
+  "test_reflect"
+  "test_reflect.pdb"
+  "test_reflect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reflect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

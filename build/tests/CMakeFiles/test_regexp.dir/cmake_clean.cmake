@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regexp.dir/test_regexp.cpp.o"
+  "CMakeFiles/test_regexp.dir/test_regexp.cpp.o.d"
+  "test_regexp"
+  "test_regexp.pdb"
+  "test_regexp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

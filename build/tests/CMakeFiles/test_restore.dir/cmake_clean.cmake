@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restore.dir/test_restore.cpp.o"
+  "CMakeFiles/test_restore.dir/test_restore.cpp.o.d"
+  "test_restore"
+  "test_restore.pdb"
+  "test_restore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

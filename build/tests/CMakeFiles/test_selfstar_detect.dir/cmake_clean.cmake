@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selfstar_detect.dir/test_selfstar_detect.cpp.o"
+  "CMakeFiles/test_selfstar_detect.dir/test_selfstar_detect.cpp.o.d"
+  "test_selfstar_detect"
+  "test_selfstar_detect.pdb"
+  "test_selfstar_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selfstar_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

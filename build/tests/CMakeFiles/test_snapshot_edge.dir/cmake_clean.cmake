@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshot_edge.dir/test_snapshot_edge.cpp.o"
+  "CMakeFiles/test_snapshot_edge.dir/test_snapshot_edge.cpp.o.d"
+  "test_snapshot_edge"
+  "test_snapshot_edge.pdb"
+  "test_snapshot_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshot_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weave.dir/test_weave.cpp.o"
+  "CMakeFiles/test_weave.dir/test_weave.cpp.o.d"
+  "test_weave"
+  "test_weave.pdb"
+  "test_weave[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml.dir/test_xml.cpp.o"
+  "CMakeFiles/test_xml.dir/test_xml.cpp.o.d"
+  "test_xml"
+  "test_xml.pdb"
+  "test_xml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

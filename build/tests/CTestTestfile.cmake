@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_reflect[1]_include.cmake")
+include("/root/repo/build/tests/test_snapshot[1]_include.cmake")
+include("/root/repo/build/tests/test_restore[1]_include.cmake")
+include("/root/repo/build/tests/test_rc_ptr[1]_include.cmake")
+include("/root/repo/build/tests/test_weave[1]_include.cmake")
+include("/root/repo/build/tests/test_detect[1]_include.cmake")
+include("/root/repo/build/tests/test_mask[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_snapshot_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_invoke_modes[1]_include.cmake")
+include("/root/repo/build/tests/test_callgraph[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_diff[1]_include.cmake")
+include("/root/repo/build/tests/test_exception_specs[1]_include.cmake")
+include("/root/repo/build/tests/test_collections_lists[1]_include.cmake")
+include("/root/repo/build/tests/test_collections_maps[1]_include.cmake")
+include("/root/repo/build/tests/test_regexp[1]_include.cmake")
+include("/root/repo/build/tests/test_xml[1]_include.cmake")
+include("/root/repo/build/tests/test_net_selfstar[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_campaign_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_collections_detect[1]_include.cmake")
+include("/root/repo/build/tests/test_masked_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_selfstar_detect[1]_include.cmake")

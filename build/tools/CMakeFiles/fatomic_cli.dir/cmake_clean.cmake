@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatomic_cli.dir/fatomic_cli.cpp.o"
+  "CMakeFiles/fatomic_cli.dir/fatomic_cli.cpp.o.d"
+  "fatomic_cli"
+  "fatomic_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatomic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
