@@ -34,6 +34,11 @@ struct Campaign {
   std::map<std::pair<const weave::MethodInfo*, const weave::MethodInfo*>,
            std::uint64_t>
       call_edges;
+  /// Snapshot/comparison/rollback/wrapped-call counters accumulated over the
+  /// campaign's injector runs — aggregated across workers when the campaign
+  /// ran with Options::jobs > 1, and restricted to the runs the campaign
+  /// keeps, so parallel and sequential campaigns report identical totals.
+  weave::RuntimeStats stats;
 
   /// Number of exceptions actually injected (Table 1, #Injections).
   std::uint64_t injections() const {

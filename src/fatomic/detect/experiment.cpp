@@ -1,8 +1,13 @@
 #include "fatomic/detect/experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <exception>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <utility>
+#include <vector>
 
 namespace fatomic::detect {
 
@@ -17,14 +22,79 @@ Experiment::Experiment(std::function<void()> program, Options opts)
 
 namespace {
 
-/// RAII: installs a wrap predicate for the campaign and restores none after.
+/// RAII: installs a wrap predicate for the campaign and restores the
+/// previously installed one after — nested masked experiments (e.g. a
+/// mask-verify campaign launched from inside a MaskedScope) keep the outer
+/// predicate intact.
 class ScopedWrap {
  public:
-  explicit ScopedWrap(weave::Runtime::WrapPredicate p) {
+  explicit ScopedWrap(weave::Runtime::WrapPredicate p)
+      : saved_(weave::Runtime::instance().wrap_predicate()) {
     if (p) weave::Runtime::instance().set_wrap_predicate(std::move(p));
   }
-  ~ScopedWrap() { weave::Runtime::instance().set_wrap_predicate(nullptr); }
+  ~ScopedWrap() {
+    weave::Runtime::instance().set_wrap_predicate(std::move(saved_));
+  }
+
+ private:
+  weave::Runtime::WrapPredicate saved_;
 };
+
+/// One injector run and everything the campaign needs from it.
+struct RunOutcome {
+  RunRecord rec;
+  /// The run's counter never reached the threshold and nothing was injected
+  /// — every injection point of the program has been visited.
+  bool terminal = false;
+  /// Stats delta attributable to this run alone.
+  weave::RuntimeStats stats;
+};
+
+/// Executes the injector program once at `threshold` against the calling
+/// thread's current runtime `rt` and packages the observations.
+RunOutcome run_once(const std::function<void()>& program, weave::Runtime& rt,
+                    weave::Mode mode, std::uint64_t threshold) {
+  weave::ScopedMode m(mode);
+  const weave::RuntimeStats before = rt.stats;
+  rt.begin_run(threshold);
+
+  RunOutcome out;
+  out.rec.injection_point = threshold;
+  try {
+    program();
+  } catch (const std::exception& e) {
+    out.rec.escaped = true;
+    out.rec.escape_what = e.what();
+  } catch (...) {
+    out.rec.escaped = true;
+    out.rec.escape_what = "(non-standard exception)";
+  }
+
+  out.rec.injected = rt.injected;
+  out.rec.injected_method = rt.injected_method;
+  out.rec.injected_exception = rt.injected_exception;
+  // The next begin_run clears marks anyway, so hand the vector over instead
+  // of copying it (marks can carry per-injection diff strings).
+  out.rec.marks = std::move(rt.marks);
+  out.terminal = !out.rec.injected && rt.point < threshold;
+  out.stats = rt.stats - before;
+  return out;
+}
+
+/// Appends a run's contribution to the campaign, applying the terminal-run
+/// rule: an exhausted, uninjected run ends the campaign, but its record is
+/// kept when the subject program escaped an exception of its own — only the
+/// truly empty terminal run is dropped.  Returns true when the campaign is
+/// over.
+bool absorb(Campaign& campaign, RunOutcome&& out) {
+  campaign.stats += out.stats;
+  if (out.terminal) {
+    if (out.rec.escaped) campaign.runs.push_back(std::move(out.rec));
+    return true;
+  }
+  campaign.runs.push_back(std::move(out.rec));
+  return false;
+}
 
 }  // namespace
 
@@ -32,11 +102,17 @@ Campaign Experiment::run() {
   auto& rt = weave::Runtime::instance();
   Campaign campaign;
 
-  // Baseline: call counts of the original program (Figures 2b / 3b).
+  // Baseline: call counts of the original program (Figures 2b / 3b).  A
+  // program that escapes an exception even uninjected still yields a
+  // baseline — the counts observed up to the escape — and its terminal
+  // injector run records the escape (see absorb()).
   {
     weave::ScopedMode mode(weave::Mode::Count);
     rt.reset_counts();
-    program_();
+    try {
+      program_();
+    } catch (...) {
+    }
     campaign.call_counts = rt.call_counts;
     campaign.call_edges = rt.call_edges;
   }
@@ -51,32 +127,86 @@ Campaign Experiment::run() {
   } diff_flag;
   rt.record_diffs = opts_.record_diffs;
 
-  for (std::uint64_t threshold = 1; threshold <= opts_.max_runs; ++threshold) {
-    weave::ScopedMode m(mode);
-    rt.begin_run(threshold);
+  unsigned jobs = opts_.jobs != 0 ? opts_.jobs
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  if (static_cast<std::uint64_t>(jobs) > opts_.max_runs)
+    jobs = static_cast<unsigned>(opts_.max_runs);
 
-    RunRecord rec;
-    rec.injection_point = threshold;
-    try {
-      program_();
-    } catch (const std::exception& e) {
-      rec.escaped = true;
-      rec.escape_what = e.what();
-    } catch (...) {
-      rec.escaped = true;
-      rec.escape_what = "(non-standard exception)";
-    }
-
-    rec.injected = rt.injected;
-    rec.injected_method = rt.injected_method;
-    rec.injected_exception = rt.injected_exception;
-    rec.marks = rt.marks;
-
-    const bool exhausted = rt.point < threshold;
-    if (!rec.injected && exhausted) break;  // all injection points visited
-    campaign.runs.push_back(std::move(rec));
-  }
+  if (jobs > 1)
+    run_parallel(campaign, mode, jobs);
+  else
+    run_sequential(campaign, mode);
   return campaign;
+}
+
+void Experiment::run_sequential(Campaign& campaign, weave::Mode mode) {
+  auto& rt = weave::Runtime::instance();
+  for (std::uint64_t threshold = 1; threshold <= opts_.max_runs; ++threshold) {
+    if (absorb(campaign, run_once(program_, rt, mode, threshold))) break;
+  }
+}
+
+void Experiment::run_parallel(Campaign& campaign, weave::Mode mode,
+                              unsigned jobs) {
+  auto& parent = weave::Runtime::instance();
+
+  // Workers claim thresholds from a shared counter; `stop` carries the
+  // lowest terminal threshold discovered so far, cancelling runs past it
+  // (the sequential loop would never have executed them).
+  std::atomic<std::uint64_t> next{1};
+  std::atomic<std::uint64_t> stop{opts_.max_runs + 1};
+
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, RunOutcome>> collected;
+  std::exception_ptr failure;
+
+  auto worker = [&] {
+    // An isolated runtime mirroring the driving thread's configuration;
+    // installing it makes every Runtime::instance() hit on this thread —
+    // i.e. every FAT_INVOKE wrapper of the subject program — see it.
+    weave::Runtime rt;
+    rt.adopt_config(parent);
+    weave::ScopedRuntime install(rt);
+    try {
+      for (;;) {
+        const std::uint64_t threshold = next.fetch_add(1);
+        if (threshold > opts_.max_runs || threshold > stop.load()) break;
+        RunOutcome out = run_once(program_, rt, mode, threshold);
+        if (out.terminal) {
+          std::uint64_t cur = stop.load();
+          while (threshold < cur &&
+                 !stop.compare_exchange_weak(cur, threshold)) {
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        collected.emplace_back(threshold, std::move(out));
+      }
+    } catch (...) {
+      // Propagate the first non-run failure (run_once absorbs subject
+      // exceptions; this is e.g. bad_alloc) to the caller, as the
+      // sequential loop would, and cancel the remaining workers.
+      std::lock_guard<std::mutex> lock(mu);
+      if (!failure) failure = std::current_exception();
+      stop.store(0);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (failure) std::rethrow_exception(failure);
+
+  // Merge in threshold order.  Thresholds are handed out contiguously, so
+  // every run below the final cutoff exists exactly once; speculative runs
+  // past it are discarded, reproducing the sequential loop bit for bit.
+  const std::uint64_t cutoff = stop.load();
+  std::sort(collected.begin(), collected.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [threshold, out] : collected) {
+    if (threshold > cutoff) continue;
+    absorb(campaign, std::move(out));
+  }
 }
 
 }  // namespace fatomic::detect

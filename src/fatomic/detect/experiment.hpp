@@ -3,6 +3,12 @@
 // every potential injection point fires exactly once across the campaign.
 // The campaign terminates when a run's counter never reaches the threshold —
 // all injection points of the (deterministic) program are then exhausted.
+//
+// Runs at distinct thresholds are independent re-executions of the same
+// deterministic program, so with Options::jobs > 1 the driver shards them
+// across a worker pool of isolated thread-local runtimes and merges the
+// records back in threshold order — producing exactly the Campaign the
+// sequential loop would, including the stop-at-first-exhausted-run cutoff.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,14 @@ namespace fatomic::detect {
 struct Options {
   /// Safety valve against runaway campaigns on non-terminating programs.
   std::uint64_t max_runs = 10'000'000;
+
+  /// Worker threads running injector runs concurrently.  1 (the default)
+  /// keeps the strictly sequential loop on the calling thread; 0 means "one
+  /// per hardware thread".  Any value yields a Campaign identical to the
+  /// sequential one provided the program is deterministic and shares no
+  /// mutable state across invocations (every subject workload constructs
+  /// fresh objects per run).
+  unsigned jobs = 1;
 
   /// Run the campaign against the *corrected* program (injection wrappers
   /// around atomicity wrappers) to verify that masking removed all
@@ -38,10 +52,14 @@ class Experiment {
   explicit Experiment(std::function<void()> program, Options opts = {});
 
   /// Runs the full campaign: one Count-mode baseline run for call counts,
-  /// then one injector run per injection point.
+  /// then one injector run per injection point (parallelised over
+  /// Options::jobs workers when jobs != 1).
   Campaign run();
 
  private:
+  void run_sequential(Campaign& campaign, weave::Mode mode);
+  void run_parallel(Campaign& campaign, weave::Mode mode, unsigned jobs);
+
   std::function<void()> program_;
   Options opts_;
 };

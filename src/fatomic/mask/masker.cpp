@@ -35,20 +35,23 @@ weave::Runtime::WrapPredicate wrap_all_nonatomic(
 }
 
 MaskedScope::MaskedScope(weave::Runtime::WrapPredicate wrap)
-    : mode_(weave::Mode::Mask) {
+    : mode_(weave::Mode::Mask),
+      saved_(weave::Runtime::instance().wrap_predicate()) {
   weave::Runtime::instance().set_wrap_predicate(std::move(wrap));
 }
 
 MaskedScope::~MaskedScope() {
-  weave::Runtime::instance().set_wrap_predicate(nullptr);
+  weave::Runtime::instance().set_wrap_predicate(std::move(saved_));
 }
 
 detect::Classification verify_masked(std::function<void()> program,
                                      weave::Runtime::WrapPredicate wrap,
-                                     const detect::Policy& policy) {
+                                     const detect::Policy& policy,
+                                     unsigned jobs) {
   detect::Options opts;
   opts.masked = true;
   opts.wrap = std::move(wrap);
+  opts.jobs = jobs;
   detect::Experiment exp(std::move(program), std::move(opts));
   return detect::classify(exp.run(), policy);
 }

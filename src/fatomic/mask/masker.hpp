@@ -25,7 +25,8 @@ weave::Runtime::WrapPredicate wrap_all_nonatomic(
     const detect::Classification& cls, const detect::Policy& policy = {});
 
 /// RAII: switches the runtime to the corrected program P_C — Mask mode plus
-/// the given wrap predicate — for the lifetime of the scope.
+/// the given wrap predicate — for the lifetime of the scope.  The previously
+/// installed predicate (if any) is restored on exit.
 class MaskedScope {
  public:
   explicit MaskedScope(weave::Runtime::WrapPredicate wrap);
@@ -35,13 +36,16 @@ class MaskedScope {
 
  private:
   weave::ScopedMode mode_;
+  weave::Runtime::WrapPredicate saved_;
 };
 
 /// Re-runs the full injection campaign against the masked program and
 /// returns its classification; an effective mask yields zero non-atomic
-/// methods.
+/// methods.  `jobs` shards the verification campaign across worker threads
+/// (detect::Options::jobs).
 detect::Classification verify_masked(std::function<void()> program,
                                      weave::Runtime::WrapPredicate wrap,
-                                     const detect::Policy& policy = {});
+                                     const detect::Policy& policy = {},
+                                     unsigned jobs = 1);
 
 }  // namespace fatomic::mask

@@ -85,7 +85,12 @@ std::string campaign_json(const detect::Campaign& campaign) {
      << ",\"injections\":" << campaign.injections()
      << ",\"methods\":" << campaign.distinct_methods()
      << ",\"classes\":" << campaign.distinct_classes()
-     << ",\"total_calls\":" << campaign.total_calls() << ",\"details\":[";
+     << ",\"total_calls\":" << campaign.total_calls()
+     << ",\"stats\":{\"snapshots\":" << campaign.stats.snapshots_taken
+     << ",\"comparisons\":" << campaign.stats.comparisons
+     << ",\"rollbacks\":" << campaign.stats.rollbacks
+     << ",\"wrapped_calls\":" << campaign.stats.wrapped_calls
+     << "},\"details\":[";
   bool first = true;
   for (const auto& run : campaign.runs) {
     if (!first) os << ',';

@@ -159,6 +159,13 @@ decltype(auto) invoke_with(const MethodInfo& mi, Self* self,
 template <class Fn>
 decltype(auto) invoke_static(const MethodInfo& mi, Fn&& body) {
   Runtime& rt = Runtime::instance();
+  // A receiverless method selected by the wrap predicate still counts as a
+  // wrapped call — its atomicity wrapper is degenerate (nothing to
+  // checkpoint), but the stats must reflect every call the mask routed
+  // through a wrapper or the per-campaign totals undercount.
+  auto count_wrapped = [&] {
+    if (rt.should_wrap(mi)) ++rt.stats.wrapped_calls;
+  };
   switch (rt.mode()) {
     case Mode::Direct:
       return body();
@@ -167,10 +174,14 @@ decltype(auto) invoke_static(const MethodInfo& mi, Fn&& body) {
       return body();
     }
     case Mode::Inject:
-    case Mode::InjectMask:
       detail::fire_injection_points(mi, rt);
       return body();
+    case Mode::InjectMask:
+      detail::fire_injection_points(mi, rt);
+      count_wrapped();
+      return body();
     case Mode::Mask:
+      count_wrapped();
       return body();
   }
   return body();  // unreachable

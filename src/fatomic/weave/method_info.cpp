@@ -19,10 +19,19 @@ MethodRegistry& MethodRegistry::instance() {
   return reg;
 }
 
-void MethodRegistry::add(const MethodInfo* mi) { methods_.push_back(mi); }
+void MethodRegistry::add(const MethodInfo* mi) {
+  std::lock_guard<std::mutex> lock(mu_);
+  methods_.push_back(mi);
+}
+
+std::vector<const MethodInfo*> MethodRegistry::all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return methods_;
+}
 
 const MethodInfo* MethodRegistry::find(
     const std::string& qualified_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const MethodInfo* mi : methods_)
     if (mi->qualified_name() == qualified_name) return mi;
   return nullptr;

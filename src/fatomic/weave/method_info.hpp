@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,18 +56,23 @@ class MethodInfo {
 };
 
 /// Registry of every MethodInfo constructed in the process; the equivalent
-/// of the Analyzer's method inventory.
+/// of the Analyzer's method inventory.  Registration is thread-safe: a
+/// method first reached on a campaign worker thread (e.g. inside a catch
+/// block that only runs under injection) registers itself concurrently with
+/// other workers.
 class MethodRegistry {
  public:
   static MethodRegistry& instance();
 
   void add(const MethodInfo* mi);
-  const std::vector<const MethodInfo*>& all() const { return methods_; }
+  /// Snapshot of the registered methods, in registration order.
+  std::vector<const MethodInfo*> all() const;
 
   /// Returns nullptr when no method has that qualified name.
   const MethodInfo* find(const std::string& qualified_name) const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<const MethodInfo*> methods_;
 };
 

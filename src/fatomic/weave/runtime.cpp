@@ -4,14 +4,26 @@
 
 namespace fatomic::weave {
 
+namespace {
+
+/// The runtime explicitly installed on this thread (innermost
+/// ScopedRuntime), or null when the thread uses its default instance.
+thread_local Runtime* tl_current = nullptr;
+
+}  // namespace
+
 Runtime::Runtime() {
   runtime_exceptions_.push_back(ExceptionSpec{
       "fatomic::InjectedRuntimeError", [] { throw InjectedRuntimeError(); }});
 }
 
 Runtime& Runtime::instance() {
-  static Runtime rt;
-  return rt;
+  if (tl_current != nullptr) return *tl_current;
+  // One lazily-constructed default runtime per thread.  The main thread's
+  // default plays the role of the old process-global singleton, so existing
+  // single-threaded callers observe unchanged behaviour.
+  thread_local Runtime tl_default;
+  return tl_default;
 }
 
 void Runtime::begin_run(std::uint64_t threshold) {
@@ -23,6 +35,19 @@ void Runtime::begin_run(std::uint64_t threshold) {
   depth = 0;
   marks.clear();
 }
+
+void Runtime::adopt_config(const Runtime& src) {
+  mode_ = src.mode_;
+  runtime_exceptions_ = src.runtime_exceptions_;
+  wrap_ = src.wrap_;
+  record_diffs = src.record_diffs;
+}
+
+ScopedRuntime::ScopedRuntime(Runtime& rt) : saved_(tl_current) {
+  tl_current = &rt;
+}
+
+ScopedRuntime::~ScopedRuntime() { tl_current = saved_; }
 
 ScopedMode::ScopedMode(Mode m) : saved_(Runtime::instance().mode()) {
   Runtime::instance().set_mode(m);

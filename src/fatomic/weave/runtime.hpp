@@ -7,9 +7,12 @@
 // Mode, which yields the same wrapper nesting and observable semantics as
 // the paper's woven variants (DESIGN.md, substitution table).
 //
-// The runtime is deliberately single-threaded: the paper's system "does not
-// explicitly deal with concurrent accesses in multi-threaded programs"
-// (Section 4.4).
+// Each thread sees its own "current" runtime through Runtime::instance():
+// by default a thread-local instance, or an explicitly installed one
+// (ScopedRuntime).  A runtime itself is single-threaded — the paper's system
+// "does not explicitly deal with concurrent accesses in multi-threaded
+// programs" (Section 4.4) — but isolated runtimes let independent injection
+// runs execute on separate threads (detect::Options::jobs).
 #pragma once
 
 #include <cstdint>
@@ -60,9 +63,39 @@ struct RuntimeStats {
   std::uint64_t wrapped_calls = 0;
 };
 
+inline RuntimeStats& operator+=(RuntimeStats& a, const RuntimeStats& b) {
+  a.snapshots_taken += b.snapshots_taken;
+  a.comparisons += b.comparisons;
+  a.rollbacks += b.rollbacks;
+  a.wrapped_calls += b.wrapped_calls;
+  return a;
+}
+
+/// Counter deltas between two points of the same runtime's history
+/// (`after` must be a later observation than `before`).
+inline RuntimeStats operator-(RuntimeStats after, const RuntimeStats& before) {
+  after.snapshots_taken -= before.snapshots_taken;
+  after.comparisons -= before.comparisons;
+  after.rollbacks -= before.rollbacks;
+  after.wrapped_calls -= before.wrapped_calls;
+  return after;
+}
+
 class Runtime {
  public:
+  /// The calling thread's current runtime: the innermost ScopedRuntime, or
+  /// the thread's own default instance.  Distinct threads never share a
+  /// runtime unless one is installed on both — which campaign code never
+  /// does — so wrappers running on worker threads observe fully isolated
+  /// injection state.
   static Runtime& instance();
+
+  Runtime();
+
+  // A runtime is an identity (wrappers hold references to it across a run);
+  // configuration moves between runtimes via adopt_config().
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
 
   // --- mode ---------------------------------------------------------------
   Mode mode() const { return mode_; }
@@ -88,6 +121,12 @@ class Runtime {
   /// Resets per-run state and arms the next injection threshold.
   void begin_run(std::uint64_t threshold);
 
+  /// Copies the campaign configuration — mode, wrap predicate, generic
+  /// runtime exception set, diff recording — from `src`, leaving this
+  /// runtime's per-run state untouched.  Used by campaign workers to mirror
+  /// the driving thread's runtime before replaying injection runs.
+  void adopt_config(const Runtime& src);
+
   // --- per-run observations -------------------------------------------------
   std::vector<Mark> marks;
 
@@ -110,6 +149,7 @@ class Runtime {
   /// wrappers (Figure 1, step 5).  Null means "wrap nothing".
   using WrapPredicate = std::function<bool(const MethodInfo&)>;
   void set_wrap_predicate(WrapPredicate p) { wrap_ = std::move(p); }
+  const WrapPredicate& wrap_predicate() const { return wrap_; }
   bool should_wrap(const MethodInfo& mi) const { return wrap_ && wrap_(mi); }
 
   RuntimeStats stats;
@@ -118,7 +158,21 @@ class Runtime {
   Mode mode_ = Mode::Direct;
   std::vector<ExceptionSpec> runtime_exceptions_;
   WrapPredicate wrap_;
-  Runtime();
+};
+
+/// RAII: installs a runtime as the calling thread's current one — every
+/// Runtime::instance() call on this thread resolves to it until the scope
+/// ends.  Campaign worker threads use this to run the injector program
+/// against an isolated runtime without touching any wrapper call site.
+class ScopedRuntime {
+ public:
+  explicit ScopedRuntime(Runtime& rt);
+  ~ScopedRuntime();
+  ScopedRuntime(const ScopedRuntime&) = delete;
+  ScopedRuntime& operator=(const ScopedRuntime&) = delete;
+
+ private:
+  Runtime* saved_;
 };
 
 /// RAII helper that saves and restores the full runtime configuration —

@@ -191,6 +191,46 @@ TEST_F(InvokeModesTest, WrappedCallsCounted) {
   EXPECT_EQ(rt.stats.snapshots_taken, 2u);
 }
 
+TEST_F(InvokeModesTest, WrappedStaticCallsCounted) {
+  auto& rt = Runtime::instance();
+  rt.set_wrap_predicate([](const weave::MethodInfo& mi) {
+    return mi.method_name() == "answer";
+  });
+  weave::ScopedMode scope(Mode::Mask);
+  EXPECT_EQ(Widget::answer(), 42);
+  EXPECT_EQ(Widget::answer(), 42);
+  EXPECT_EQ(rt.stats.wrapped_calls, 2u)
+      << "statics selected by the predicate count as wrapped calls";
+  EXPECT_EQ(rt.stats.snapshots_taken, 0u) << "but nothing to checkpoint";
+}
+
+TEST_F(InvokeModesTest, UnwrappedStaticCallsNotCounted) {
+  auto& rt = Runtime::instance();
+  rt.set_wrap_predicate([](const weave::MethodInfo&) { return false; });
+  weave::ScopedMode scope(Mode::Mask);
+  EXPECT_EQ(Widget::answer(), 42);
+  EXPECT_EQ(rt.stats.wrapped_calls, 0u);
+}
+
+TEST_F(InvokeModesTest, RuntimesAreThreadLocal) {
+  auto& rt = Runtime::instance();
+  weave::ScopedMode scope(Mode::Inject);
+  rt.begin_run(1);
+  // Another runtime installed on this thread shadows the default...
+  {
+    Runtime isolated;
+    isolated.adopt_config(rt);
+    weave::ScopedRuntime install(isolated);
+    EXPECT_EQ(&Runtime::instance(), &isolated);
+    EXPECT_EQ(Runtime::instance().mode(), Mode::Inject) << "config adopted";
+    Runtime::instance().begin_run(1000000);
+    EXPECT_EQ(Widget::answer(), 42) << "isolated threshold, no injection";
+  }
+  // ...and the original state is untouched once the scope ends.
+  EXPECT_EQ(&Runtime::instance(), &rt);
+  EXPECT_THROW(Widget::answer(), fatomic::InjectedRuntimeError);
+}
+
 TEST_F(InvokeModesTest, DepthReturnsToZeroAfterEscapedException) {
   auto& rt = Runtime::instance();
   weave::ScopedMode scope(Mode::Inject);

@@ -1,0 +1,217 @@
+// Parallel injection campaigns (detect::Options::jobs): a campaign sharded
+// across worker threads with isolated thread-local runtimes must reproduce
+// the sequential campaign bit for bit — runs, marks, classification, report
+// JSON and aggregated stats — on real subjects.  Also covers the
+// campaign-loop regressions fixed alongside: the terminal-run record of a
+// genuinely escaping program, and wrap-predicate restoration around masked
+// experiments.
+#include "fatomic/detect/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "fatomic/detect/classify.hpp"
+#include "fatomic/mask/masker.hpp"
+#include "fatomic/report/json.hpp"
+#include "subjects/apps/apps.hpp"
+#include "testing/synthetic.hpp"
+
+namespace detect = fatomic::detect;
+namespace report = fatomic::report;
+namespace weave = fatomic::weave;
+
+namespace {
+
+void expect_same_campaign(const detect::Campaign& seq,
+                          const detect::Campaign& par) {
+  ASSERT_EQ(seq.runs.size(), par.runs.size());
+  for (std::size_t i = 0; i < seq.runs.size(); ++i) {
+    const detect::RunRecord& a = seq.runs[i];
+    const detect::RunRecord& b = par.runs[i];
+    EXPECT_EQ(a.injection_point, b.injection_point);
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.injected_method, b.injected_method) << "run " << i;
+    EXPECT_EQ(a.injected_exception, b.injected_exception);
+    EXPECT_EQ(a.escaped, b.escaped);
+    EXPECT_EQ(a.escape_what, b.escape_what);
+    ASSERT_EQ(a.marks.size(), b.marks.size()) << "run " << i;
+    for (std::size_t j = 0; j < a.marks.size(); ++j) {
+      EXPECT_EQ(a.marks[j].method, b.marks[j].method);
+      EXPECT_EQ(a.marks[j].atomic, b.marks[j].atomic);
+      EXPECT_EQ(a.marks[j].injection_point, b.marks[j].injection_point);
+      EXPECT_EQ(a.marks[j].depth, b.marks[j].depth);
+      EXPECT_EQ(a.marks[j].detail, b.marks[j].detail);
+    }
+  }
+  EXPECT_EQ(seq.call_counts, par.call_counts);
+  EXPECT_EQ(seq.call_edges, par.call_edges);
+  EXPECT_EQ(seq.stats.snapshots_taken, par.stats.snapshots_taken);
+  EXPECT_EQ(seq.stats.comparisons, par.stats.comparisons);
+  EXPECT_EQ(seq.stats.rollbacks, par.stats.rollbacks);
+  EXPECT_EQ(seq.stats.wrapped_calls, par.stats.wrapped_calls);
+}
+
+void expect_parallel_matches_sequential(const std::string& app_name) {
+  const auto& app = subjects::apps::app(app_name);
+
+  detect::Options seq_opts;
+  detect::Campaign seq = detect::Experiment(app.program, seq_opts).run();
+
+  detect::Options par_opts;
+  par_opts.jobs = 4;
+  detect::Campaign par = detect::Experiment(app.program, par_opts).run();
+
+  expect_same_campaign(seq, par);
+  EXPECT_EQ(report::campaign_json(seq), report::campaign_json(par));
+  EXPECT_EQ(report::classification_json(detect::classify(seq)),
+            report::classification_json(detect::classify(par)));
+}
+
+class ParallelDetectTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    auto& rt = weave::Runtime::instance();
+    rt.set_mode(weave::Mode::Direct);
+    rt.set_wrap_predicate(nullptr);
+  }
+};
+
+}  // namespace
+
+TEST_F(ParallelDetectTest, CollectionsSubjectIsDeterministic) {
+  expect_parallel_matches_sequential("LinkedList");
+}
+
+TEST_F(ParallelDetectTest, XmlSubjectIsDeterministic) {
+  expect_parallel_matches_sequential("xml2xml1");
+}
+
+TEST_F(ParallelDetectTest, SyntheticWorkloadIsDeterministic) {
+  detect::Campaign seq = detect::Experiment(synthetic::workload).run();
+  detect::Options par_opts;
+  par_opts.jobs = 8;
+  detect::Campaign par =
+      detect::Experiment(synthetic::workload, par_opts).run();
+  expect_same_campaign(seq, par);
+}
+
+TEST_F(ParallelDetectTest, JobsZeroMeansHardwareConcurrency) {
+  detect::Options opts;
+  opts.jobs = 0;
+  detect::Campaign par = detect::Experiment(synthetic::workload, opts).run();
+  detect::Campaign seq = detect::Experiment(synthetic::workload).run();
+  expect_same_campaign(seq, par);
+}
+
+TEST_F(ParallelDetectTest, MaskedParallelVerificationMatchesSequential) {
+  const auto& app = subjects::apps::app("LinkedList");
+  auto cls = detect::classify(detect::Experiment(app.program).run());
+  auto wrap = fatomic::mask::wrap_pure(cls);
+  auto seq = fatomic::mask::verify_masked(app.program, wrap, {}, 1);
+  auto par = fatomic::mask::verify_masked(app.program, wrap, {}, 4);
+  EXPECT_EQ(report::classification_json(seq),
+            report::classification_json(par));
+  EXPECT_TRUE(par.nonatomic_names().empty());
+}
+
+TEST_F(ParallelDetectTest, MaxRunsCutoffAppliesInParallel) {
+  detect::Options seq_opts;
+  seq_opts.max_runs = 7;
+  detect::Campaign seq =
+      detect::Experiment(synthetic::workload, seq_opts).run();
+  detect::Options par_opts;
+  par_opts.max_runs = 7;
+  par_opts.jobs = 4;
+  detect::Campaign par =
+      detect::Experiment(synthetic::workload, par_opts).run();
+  EXPECT_EQ(seq.runs.size(), 7u);
+  expect_same_campaign(seq, par);
+}
+
+namespace {
+
+/// A workload that, beyond the instrumented calls, always escapes an
+/// exception of its own — the campaign's terminal (uninjected, exhausted)
+/// run must keep its record instead of silently dropping the escape.
+void escaping_workload() {
+  synthetic::Account a;
+  a.set(10);
+  a.atomic_update(5);
+  throw std::runtime_error("genuine escape");
+}
+
+}  // namespace
+
+TEST_F(ParallelDetectTest, TerminalEscapedRunIsRecorded) {
+  detect::Campaign c = detect::Experiment(escaping_workload).run();
+  ASSERT_FALSE(c.runs.empty());
+  const detect::RunRecord& last = c.runs.back();
+  EXPECT_FALSE(last.injected) << "terminal run must be uninjected";
+  EXPECT_TRUE(last.escaped);
+  EXPECT_EQ(last.escape_what, "genuine escape");
+  // Every non-terminal run injected; only the terminal record is uninjected.
+  for (std::size_t i = 0; i + 1 < c.runs.size(); ++i)
+    EXPECT_TRUE(c.runs[i].injected) << "run " << i;
+}
+
+TEST_F(ParallelDetectTest, TerminalEscapedRunIsRecordedInParallel) {
+  detect::Options opts;
+  opts.jobs = 4;
+  detect::Campaign par = detect::Experiment(escaping_workload, opts).run();
+  detect::Campaign seq = detect::Experiment(escaping_workload).run();
+  expect_same_campaign(seq, par);
+  EXPECT_TRUE(par.runs.back().escaped);
+}
+
+TEST_F(ParallelDetectTest, QuietTerminalRunIsStillDropped) {
+  detect::Campaign c = detect::Experiment(synthetic::workload).run();
+  for (const detect::RunRecord& run : c.runs) EXPECT_TRUE(run.injected);
+}
+
+TEST_F(ParallelDetectTest, MaskedExperimentRestoresOuterWrapPredicate) {
+  auto& rt = weave::Runtime::instance();
+  // An outer predicate, as installed by a surrounding MaskedScope.
+  rt.set_wrap_predicate([](const weave::MethodInfo& mi) {
+    return mi.method_name() == "set";
+  });
+
+  detect::Options opts;
+  opts.masked = true;
+  opts.wrap = [](const weave::MethodInfo&) { return true; };
+  detect::Experiment(synthetic::workload, opts).run();
+
+  const auto* set_mi =
+      weave::MethodRegistry::instance().find("synthetic::Account::set");
+  const auto* helper_mi =
+      weave::MethodRegistry::instance().find("synthetic::Account::helper");
+  ASSERT_NE(set_mi, nullptr);
+  ASSERT_NE(helper_mi, nullptr);
+  EXPECT_TRUE(rt.should_wrap(*set_mi))
+      << "outer predicate must survive the masked campaign";
+  EXPECT_FALSE(rt.should_wrap(*helper_mi));
+}
+
+TEST_F(ParallelDetectTest, NestedMaskedScopesRestoreInOrder) {
+  auto& rt = weave::Runtime::instance();
+  {
+    synthetic::Account a;
+    a.set(1);  // force MethodInfo registration (lazy, on first call)
+  }
+  const auto* set_mi =
+      weave::MethodRegistry::instance().find("synthetic::Account::set");
+  ASSERT_NE(set_mi, nullptr);
+  {
+    fatomic::mask::MaskedScope outer(
+        [](const weave::MethodInfo& mi) { return mi.method_name() == "set"; });
+    {
+      fatomic::mask::MaskedScope inner(
+          [](const weave::MethodInfo&) { return false; });
+      EXPECT_FALSE(rt.should_wrap(*set_mi));
+    }
+    EXPECT_TRUE(rt.should_wrap(*set_mi))
+        << "inner scope must restore the outer predicate";
+  }
+  EXPECT_FALSE(rt.should_wrap(*set_mi));
+}

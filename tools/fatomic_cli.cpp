@@ -25,6 +25,7 @@ struct Args {
   std::string app;
   std::string language;
   std::vector<std::string> exception_free;
+  unsigned jobs = 1;
   bool list = false;
   bool all = false;
   bool details = false;
@@ -43,6 +44,9 @@ int usage(int code) {
       "  --list                 list the available applications\n"
       "  --app NAME             run a campaign for one application\n"
       "  --all                  run campaigns for every application\n"
+      "  --jobs N               run each campaign's injector runs on N\n"
+      "                         worker threads (0 = one per hardware\n"
+      "                         thread); results are identical to --jobs 1\n"
       "  --language L           with --all: restrict to suite 'C++'/'Java'\n"
       "  --details              per-method classification table\n"
       "  --json                 classification + campaign as JSON\n"
@@ -91,6 +95,16 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.language = v;
+    } else if (a == "--jobs") {
+      const char* v = value();
+      if (!v) return false;
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::cerr << "--jobs expects a number, got '" << v << "'\n";
+        return false;
+      }
+      args.jobs = static_cast<unsigned>(n);
     } else if (a == "--exception-free") {
       const char* v = value();
       if (!v) return false;
@@ -105,8 +119,9 @@ bool parse(int argc, char** argv, Args& args) {
 
 report::AppResult run_campaign(const subjects::apps::App& app,
                                const detect::Policy& policy,
-                               bool record_diffs = false) {
+                               unsigned jobs, bool record_diffs = false) {
   detect::Options opts;
+  opts.jobs = jobs;
   opts.record_diffs = record_diffs;
   detect::Experiment exp(app.program, std::move(opts));
   report::AppResult r;
@@ -122,7 +137,7 @@ int run_one(const Args& args) {
   detect::Policy policy;
   for (const auto& m : args.exception_free) policy.exception_free.insert(m);
 
-  report::AppResult result = run_campaign(app, policy, args.diffs);
+  report::AppResult result = run_campaign(app, policy, args.jobs, args.diffs);
   const auto& cls = result.classification;
 
   std::cout << app.name << " (" << app.language << "): "
@@ -150,7 +165,7 @@ int run_one(const Args& args) {
   }
   if (args.mask_verify) {
     auto verified = fatomic::mask::verify_masked(
-        app.program, fatomic::mask::wrap_pure(cls, policy), policy);
+        app.program, fatomic::mask::wrap_pure(cls, policy), policy, args.jobs);
     const auto remaining = verified.nonatomic_names();
     std::cout << "\nmask verification: " << remaining.size()
               << " non-atomic methods remain\n";
@@ -164,7 +179,7 @@ int run_all(const Args& args) {
   std::vector<report::AppResult> results;
   for (const auto& app : subjects::apps::all_apps()) {
     if (!args.language.empty() && app.language != args.language) continue;
-    results.push_back(run_campaign(app, detect::Policy{}));
+    results.push_back(run_campaign(app, detect::Policy{}, args.jobs));
   }
   std::cout << report::table1(results) << '\n';
   std::cout << report::figure_methods(results, "method classification")
