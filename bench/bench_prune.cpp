@@ -1,0 +1,64 @@
+// Static-pruning payoff: full vs pruned campaign over a collections subject
+// and an xml subject (detect::Options::prune_atomic fed from the static
+// effect analysis).  For each workload the bench reports how many injector
+// runs the prune set eliminates and verifies on the fly that the pruned
+// campaign classifies identically to the full one — the empirical guard on
+// the pruning soundness argument (DESIGN.md §7).
+//
+// Exit is non-zero when a classification diverges or when the collections
+// workload saves less than 20% of its injector runs.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fatomic/analyze/static_report.hpp"
+#include "subjects/apps/apps.hpp"
+
+namespace analyze = fatomic::analyze;
+
+#ifndef FATOMIC_SOURCE_DIR
+#error "FATOMIC_SOURCE_DIR must point at the repository's src/ tree"
+#endif
+
+int main() {
+  const analyze::StaticReport report =
+      analyze::analyze_sources(std::string(FATOMIC_SOURCE_DIR) + "/subjects");
+  const auto prune = report.prune_set();
+  std::printf("static analysis: %zu of %zu methods proven, prune set %zu\n\n",
+              report.proven_count(), report.method_count(), prune.size());
+  std::printf("%-18s %10s %10s %8s %6s\n", "workload", "full runs",
+              "pruned", "saved%", "same");
+
+  struct Workload {
+    std::string name;
+    std::function<void()> program;
+    double min_saved_pct;  ///< acceptance floor for this workload
+  };
+  const std::vector<Workload> workloads = {
+      {"collections", subjects::apps::run_linked_list_fixed, 20.0},
+      {"xml", subjects::apps::run_xml2xml1, 20.0},
+  };
+
+  bool ok = true;
+  for (const auto& w : workloads) {
+    const analyze::CrossCheck cc = analyze::cross_check(w.program, prune);
+    const double total = static_cast<double>(cc.full.runs.size());
+    const double saved_pct =
+        total == 0 ? 0 : 100.0 * static_cast<double>(cc.runs_saved) / total;
+    std::printf("%-18s %10zu %10llu %7.1f%% %6s\n", w.name.c_str(),
+                cc.full.runs.size(),
+                static_cast<unsigned long long>(cc.runs_saved), saved_pct,
+                cc.identical ? "yes" : "NO");
+    if (!cc.identical) {
+      std::printf("  DIVERGED at %s\n", cc.mismatch.c_str());
+      ok = false;
+    }
+    if (saved_pct < w.min_saved_pct) {
+      std::printf("  below the %.0f%% saving floor\n", w.min_saved_pct);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

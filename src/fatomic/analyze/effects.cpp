@@ -1,0 +1,891 @@
+#include "fatomic/analyze/effects.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <limits>
+
+namespace fatomic::analyze {
+
+const char* EffectSummary::verdict() const {
+  if (!scanned) return "unscanned";
+  if (read_only) return "read-only";
+  if (commit_point_last) return "commit-point-last";
+  return "unproven";
+}
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_ident(const std::string& t) {
+  return !t.empty() && (std::isalpha(static_cast<unsigned char>(t[0])) ||
+                        t[0] == '_');
+}
+
+bool is_number(const std::string& t) {
+  return !t.empty() && std::isdigit(static_cast<unsigned char>(t[0]));
+}
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kw = {
+      "if",       "else",    "for",      "while",     "do",       "switch",
+      "case",     "default", "return",   "break",     "continue", "throw",
+      "try",      "catch",   "new",      "delete",    "const",    "static",
+      "class",    "struct",  "enum",     "union",     "public",   "private",
+      "protected", "namespace", "using", "template",  "typename", "operator",
+      "sizeof",   "true",    "false",    "nullptr",   "this",     "auto",
+      "void",     "int",     "bool",     "char",      "unsigned", "signed",
+      "long",     "short",   "float",    "double",    "noexcept", "override",
+      "final",    "virtual", "explicit", "inline",    "constexpr", "mutable",
+      "friend",   "goto",    "extern",   "typedef",   "static_cast",
+      "dynamic_cast", "const_cast", "reinterpret_cast", "decltype",
+  };
+  return kw;
+}
+
+const std::set<std::string>& builtin_types() {
+  static const std::set<std::string> t = {
+      "void", "int",  "bool",   "char",     "unsigned",
+      "long", "short", "float", "double",   "signed",
+  };
+  return t;
+}
+
+/// Member calls that never mutate their receiver nor raise (accessors of the
+/// standard library and of smart pointers).  Checked only after the
+/// instrumented-name and helper-summary lookups, so a subject method that
+/// happens to share one of these names keeps its own (stronger) facts.
+const std::set<std::string>& pure_member_calls() {
+  static const std::set<std::string> p = {
+      "get",   "size",   "empty", "begin",  "end",   "cbegin", "cend",
+      "rbegin", "rend",  "c_str", "data",   "length", "str",   "what",
+  };
+  return p;
+}
+
+/// std:: functions that mutate nothing even when handed tracked arguments.
+const std::set<std::string>& pure_std_calls() {
+  static const std::set<std::string> p = {
+      "to_string", "stoi",      "max",       "min",  "distance",
+      "make_unique", "make_shared", "make_pair", "tie", "isspace",
+      "isdigit",  "isalpha",   "isalnum",
+  };
+  return p;
+}
+
+/// Which caller-visible state an event touches.
+enum class Kind { None, Fresh, TrackedLocal, SafeParam, TrackedParam, Env };
+
+bool tracked(Kind k) {
+  return k == Kind::TrackedLocal || k == Kind::TrackedParam || k == Kind::Env;
+}
+
+/// One positioned effect observation.  Positions are loop-widened: a
+/// mutation inside a loop is placed at the loop's first token, a throw at
+/// its last — statically, any iteration's throw may follow any iteration's
+/// mutation.
+struct Event {
+  std::size_t pos;
+  bool mut = false;
+  bool thr = false;
+  bool via_param = false;  ///< mutation reaches the caller through a param
+};
+
+struct Ctx {
+  const SourceModel* model;
+  /// Summaries keyed "Class::helper" / free "helper".
+  const std::map<std::string, FnSummary>* by_key;
+  /// Summaries merged over every definition sharing a simple name — the
+  /// sound resolution for calls whose receiver type is unknown.
+  const std::map<std::string, FnSummary>* by_name;
+};
+
+/// Scans one function body, producing effect events against the current
+/// summary table (see analyze_effects for the fixpoint driving this).
+class BodyScan {
+ public:
+  BodyScan(const Tokens& body, const FunctionDef& def, const Ctx& ctx)
+      : body_(body), def_(def), ctx_(ctx) {
+    for (const Param& p : def.params) {
+      if (p.name.empty()) continue;
+      params_[p.name] = !p.is_const && (p.is_ref || p.is_ptr);
+    }
+    compute_loops();
+  }
+
+  void run();
+
+  std::vector<Event> events;
+  bool catches = false;
+
+ private:
+  struct Var {
+    bool tracked = false;
+    /// Declared with a value type: writes to it can never reach the caller,
+    /// so reassignment keeps it untracked no matter the right-hand side.
+    bool value_type = false;
+  };
+
+  const std::string& tk(std::size_t i) const {
+    static const std::string empty;
+    return i < body_.size() ? body_[i].text : empty;
+  }
+
+  std::size_t match_fwd(std::size_t i, const char* open,
+                        const char* close) const {
+    int depth = 0;
+    for (std::size_t k = i; k < body_.size(); ++k) {
+      if (tk(k) == open) ++depth;
+      else if (tk(k) == close && --depth == 0) return k;
+    }
+    return body_.size();
+  }
+
+  std::ptrdiff_t match_back(std::ptrdiff_t i, const char* open,
+                            const char* close) const {
+    int depth = 0;
+    for (std::ptrdiff_t k = i; k >= 0; --k) {
+      if (tk(static_cast<std::size_t>(k)) == close) ++depth;
+      else if (tk(static_cast<std::size_t>(k)) == open && --depth == 0)
+        return k;
+    }
+    return -1;
+  }
+
+  /// End of the statement starting at/continuing through `i`: the next `;`
+  /// at bracket depth zero (or an unbalanced closing brace).
+  std::size_t stmt_end(std::size_t i) const {
+    int depth = 0;
+    for (std::size_t k = i; k < body_.size(); ++k) {
+      const std::string& t = tk(k);
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      else if (t == ")" || t == "]" || t == "}") {
+        if (--depth < 0) return k;
+      } else if (t == ";" && depth == 0) {
+        return k;
+      }
+    }
+    return body_.size();
+  }
+
+  Kind classify(const std::string& name) const {
+    if (auto it = locals_.find(name); it != locals_.end())
+      return it->second.tracked ? Kind::TrackedLocal : Kind::Fresh;
+    if (auto it = params_.find(name); it != params_.end())
+      return it->second ? Kind::TrackedParam : Kind::SafeParam;
+    return Kind::Env;
+  }
+
+  /// Is token k a base identifier of an expression (not a member/qualified
+  /// name component, not a literal or keyword)?
+  bool base_ident_at(std::size_t k, std::size_t from) const {
+    const std::string& t = tk(k);
+    if (!is_ident(t) || is_number(t) || keywords().count(t)) return false;
+    if (k > from) {
+      const std::string& prev = tk(k - 1);
+      if (prev == "." || prev == "->" || prev == "::") return false;
+    }
+    if (tk(k + 1) == "::") return false;
+    return true;
+  }
+
+  /// Worst base identifier found in [b, e): does the expression reach
+  /// tracked state, and through a parameter only?
+  std::pair<bool, bool> expr_state(std::size_t b, std::size_t e) const {
+    bool any = false, env = false;
+    for (std::size_t k = b; k < e; ++k) {
+      if (!base_ident_at(k, b)) continue;
+      const Kind kind = classify(tk(k));
+      if (!tracked(kind)) continue;
+      any = true;
+      if (kind != Kind::TrackedParam) env = true;
+    }
+    return {any, any && !env};
+  }
+
+  /// Does the initializer expression denote freshly owned storage (writes
+  /// through the declared pointer cannot reach any caller-visible object)?
+  bool expr_fresh(std::size_t b, std::size_t e) const {
+    if (b >= e) return true;  // no initializer: default construction
+    for (std::size_t k = b; k < e; ++k) {
+      const std::string& t = tk(k);
+      if (t == "new" || t == "make_unique" || t == "make_shared") return true;
+    }
+    for (std::size_t k = b; k < e; ++k) {
+      if (!base_ident_at(k, b)) continue;
+      const Kind kind = classify(tk(k));
+      if (kind != Kind::Fresh && kind != Kind::SafeParam) return false;
+      // Fresh base: the rest must be pure derivation (member accesses on
+      // it), e.g. `chain.get()` — any second base identifier spoils it.
+      for (std::size_t m = k + 1; m < e; ++m)
+        if (base_ident_at(m, b)) return false;
+      return true;
+    }
+    return true;  // literals / nullptr only
+  }
+
+  struct Chain {
+    bool deref = false;
+    Kind base = Kind::None;
+    /// Identifier nearest the end of the chain — the immediate receiver of
+    /// a member call (`children` in `root_->children.push_back`).  Empty
+    /// when the chain ends in a call or index result.
+    std::string recv_name;
+  };
+
+  /// Resolves the postfix chain ending just before token `end` (an
+  /// assignment-like operator): whether it writes through a dereference and
+  /// what its base identifier is.  Handles `a`, `a->b.c`, `(*p).x`,
+  /// `f(args)->m`, `arr[i]`.
+  Chain chain_before(std::size_t end) const {
+    Chain c;
+    std::string base;
+    bool first = true;
+    std::ptrdiff_t j = static_cast<std::ptrdiff_t>(end) - 1;
+    while (j >= 0) {
+      const std::string& t = tk(static_cast<std::size_t>(j));
+      if (is_ident(t) && !keywords().count(t) && !is_number(t) && first) {
+        c.recv_name = t;
+        first = false;
+      } else if (t != "." && t != "::") {
+        first = false;
+      }
+      if (t == ")" || t == "]") {
+        const std::ptrdiff_t open =
+            match_back(j, t == ")" ? "(" : "[", t == ")" ? ")" : "]");
+        if (open < 0) break;
+        if (t == ")" && open > 0 &&
+            ctx_.model->class_names.count(
+                tk(static_cast<std::size_t>(open) - 1))) {
+          // `Parser(src).parse_document()` — the receiver is a freshly
+          // constructed temporary; mutations through it never reach the
+          // caller.
+          c.base = Kind::Fresh;
+          return c;
+        }
+        if (t == "]") c.deref = true;
+        j = open - 1;
+        continue;
+      }
+      if (is_ident(t) && !keywords().count(t) && !is_number(t)) {
+        base = t;
+        --j;
+        continue;
+      }
+      if (t == "." || t == "::") {
+        --j;
+        continue;
+      }
+      if (t == "->" || t == "*") {
+        c.deref = true;
+        --j;
+        continue;
+      }
+      break;
+    }
+    if (!base.empty()) c.base = classify(base);
+    return c;
+  }
+
+  /// Resolves the operand chain starting at token `b` (prefix ++/--/delete).
+  Chain chain_after(std::size_t b) const {
+    Chain c;
+    std::size_t k = b;
+    while (k < body_.size() && (tk(k) == "*" || tk(k) == "(")) {
+      if (tk(k) == "*") c.deref = true;
+      ++k;
+    }
+    std::string base;
+    while (k < body_.size()) {
+      const std::string& t = tk(k);
+      if (is_ident(t) && !keywords().count(t) && !is_number(t)) {
+        if (base.empty()) base = t;
+        ++k;
+        continue;
+      }
+      if (t == "." || t == "::") {
+        ++k;
+        continue;
+      }
+      if (t == "->") {
+        c.deref = true;
+        ++k;
+        continue;
+      }
+      break;
+    }
+    if (!base.empty()) c.base = classify(base);
+    return c;
+  }
+
+  void compute_loops();
+  void emit(std::size_t pos, bool mut, bool thr, bool via_param);
+  void emit_mut(std::size_t pos, Kind base) {
+    emit(pos, true, false, base == Kind::TrackedParam);
+  }
+
+  const FnSummary* lookup_key(const std::string& key) const {
+    auto it = ctx_.by_key->find(key);
+    return it == ctx_.by_key->end() ? nullptr : &it->second;
+  }
+  const FnSummary* lookup_name(const std::string& name) const {
+    auto it = ctx_.by_name->find(name);
+    return it == ctx_.by_name->end() ? nullptr : &it->second;
+  }
+
+  void handle_call(std::size_t i);
+  bool try_decl(std::size_t i, std::size_t& next);
+
+  /// True when the immediate receiver is a declared member or variable
+  /// whose type mentions none of the classes instrumenting `method` — e.g.
+  /// `head_.reset()` where head_ is a unique_ptr and only Regexp instruments
+  /// a `reset`.  Unknown receivers and unknown declared types keep the
+  /// conservative answer (false: treat the call as an injection point).
+  bool field_rules_out_instrumented(const std::string& recv_name,
+                                    const std::string& method) const {
+    if (recv_name.empty()) return false;
+    auto ft = ctx_.model->declared_types.find(recv_name);
+    if (ft == ctx_.model->declared_types.end()) return false;
+    const std::string& type = ft->second;
+    for (const auto& [qualified, cm] : ctx_.model->classes) {
+      if (!cm.instrumented.count(method)) continue;
+      const std::size_t sep = qualified.rfind("::");
+      const std::string last =
+          sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+      if (type.find(last) != std::string::npos) return false;
+    }
+    return true;
+  }
+
+  const Tokens& body_;
+  const FunctionDef& def_;
+  const Ctx& ctx_;
+  std::map<std::string, Var> locals_;
+  std::map<std::string, bool> params_;  ///< name -> tracked
+  /// Outermost loop interval covering each token, or npos.
+  std::vector<std::size_t> loop_start_, loop_end_;
+
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+};
+
+void BodyScan::compute_loops() {
+  loop_start_.assign(body_.size(), npos);
+  loop_end_.assign(body_.size(), npos);
+  std::size_t i = 0;
+  while (i < body_.size()) {
+    const std::string& t = tk(i);
+    if (t != "for" && t != "while" && t != "do") {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    std::size_t end = i;
+    if (t == "do") {
+      if (tk(i + 1) != "{") {
+        ++i;
+        continue;
+      }
+      end = match_fwd(i + 1, "{", "}");
+      if (tk(end + 1) == "while" && tk(end + 2) == "(")
+        end = match_fwd(end + 2, "(", ")");
+    } else {
+      if (tk(i + 1) != "(") {
+        ++i;
+        continue;
+      }
+      const std::size_t header = match_fwd(i + 1, "(", ")");
+      if (header >= body_.size()) break;
+      if (tk(header + 1) == "{")
+        end = match_fwd(header + 1, "{", "}");
+      else
+        end = stmt_end(header + 1);
+    }
+    end = std::min(end, body_.size() - 1);
+    for (std::size_t k = start; k <= end; ++k) {
+      loop_start_[k] = start;
+      loop_end_[k] = end;
+    }
+    i = end + 1;
+  }
+}
+
+void BodyScan::emit(std::size_t pos, bool mut, bool thr, bool via_param) {
+  if (mut) {
+    const std::size_t p =
+        pos < loop_start_.size() && loop_start_[pos] != npos ? loop_start_[pos]
+                                                            : pos;
+    events.push_back({p, true, false, via_param});
+  }
+  if (thr) {
+    const std::size_t p =
+        pos < loop_end_.size() && loop_end_[pos] != npos ? loop_end_[pos]
+                                                         : pos;
+    events.push_back({p, false, true, false});
+  }
+}
+
+/// A call expression `name(` at token i: classify it and emit its events.
+void BodyScan::handle_call(std::size_t i) {
+  const std::string& name = tk(i);
+  const std::string prev = i > 0 ? tk(i - 1) : "";
+  const std::size_t close = match_fwd(i + 1, "(", ")");
+  const auto [args_tracked, args_param_only] = expr_state(i + 2, close);
+  const Kind arg_kind = args_param_only ? Kind::TrackedParam : Kind::Env;
+
+  if (name.rfind("FAT_", 0) == 0) return;
+
+  if (prev == "::") {
+    // Qualified call: either the standard library or a scanned namespace.
+    std::string leading;
+    for (std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) - 1;
+         j >= 1 && tk(static_cast<std::size_t>(j)) == "::"; j -= 2)
+      leading = tk(static_cast<std::size_t>(j) - 1);
+    if (leading == "std") {
+      if (name == "move" || name == "forward") {
+        // Move-steal: the argument's guts are gone afterwards.
+        if (args_tracked) emit_mut(i, arg_kind);
+        return;
+      }
+      if (pure_std_calls().count(name)) return;
+      // Generic algorithm: may mutate through whatever it was handed, but
+      // contains no injection point (the fault model injects only at
+      // instrumented methods — DESIGN.md §7).
+      if (args_tracked) emit_mut(i, arg_kind);
+      return;
+    }
+    if (const FnSummary* s = lookup_name(name)) {
+      if (s->mutates_env) emit_mut(i, Kind::Env);
+      if (s->mutates_params && args_tracked) emit_mut(i, arg_kind);
+      emit(i, false, s->may_throw, false);
+      return;
+    }
+    emit(i, args_tracked, true, args_param_only);  // unknown qualified call
+    return;
+  }
+
+  if (prev == "." || prev == "->") {
+    // Member call: resolve the receiver chain ending before the separator.
+    const Chain recv = chain_before(i - 1);
+    const bool recv_tracked = tracked(recv.base);
+    const Kind recv_kind =
+        recv.base == Kind::TrackedParam ? Kind::TrackedParam : Kind::Env;
+    // Zero-argument accessor check first: `head_.get()` must not resolve to
+    // the instrumented HashedMap::get — every instrumented method sharing a
+    // whitelisted name takes arguments, so arity disambiguates.
+    if (close == i + 2 && pure_member_calls().count(name)) return;
+    if (ctx_.model->instrumented_names.count(name)) {
+      if (field_rules_out_instrumented(recv.recv_name, name)) {
+        // The receiver is a field of known non-subject type (`head_` is a
+        // unique_ptr, not a Regexp), so this cannot be the instrumented
+        // method of the same name — and a name-based summary lookup would
+        // mis-resolve to it.  Library treatment: mutation only.
+        if (recv_tracked) emit_mut(i, recv_kind);
+        return;
+      }
+      // Potential injection point no matter the receiver type; mutation
+      // only if some definition of that name mutates and the receiver is
+      // caller-visible.
+      const FnSummary* s = lookup_name(name);
+      if (recv_tracked && s != nullptr && s->mutates_env)
+        emit_mut(i, recv_kind);
+      emit(i, false, true, false);
+      return;
+    }
+    if (const FnSummary* s = lookup_name(name)) {
+      if (s->mutates_env && recv_tracked) emit_mut(i, recv_kind);
+      if (s->mutates_params && args_tracked) emit_mut(i, arg_kind);
+      emit(i, false, s->may_throw, false);
+      return;
+    }
+    if (pure_member_calls().count(name) ||
+        ctx_.model->clean_const_names.count(name))
+      return;
+    // Unknown library member call: mutation when the receiver is tracked,
+    // no injection point inside.
+    if (recv_tracked) emit_mut(i, recv_kind);
+    return;
+  }
+
+  // Unqualified call: a sibling/self call or a free function.
+  if (ctx_.model->instrumented_names.count(name)) {
+    const FnSummary* s = lookup_name(name);
+    if (s != nullptr && s->mutates_env) emit_mut(i, Kind::Env);
+    if (s != nullptr && s->mutates_params && args_tracked)
+      emit_mut(i, arg_kind);
+    emit(i, false, true, false);
+    return;
+  }
+  const FnSummary* s = nullptr;
+  if (!def_.class_name.empty()) s = lookup_key(def_.class_name + "::" + name);
+  if (s == nullptr) s = lookup_key(name);
+  if (s == nullptr) s = lookup_name(name);
+  if (s != nullptr) {
+    if (s->mutates_env) emit_mut(i, Kind::Env);
+    if (s->mutates_params && args_tracked) emit_mut(i, arg_kind);
+    emit(i, false, s->may_throw, false);
+    return;
+  }
+  if (ctx_.model->clean_const_names.count(name)) return;
+  // Unknown unqualified call (an unscanned constructor or free function):
+  // fallible, and mutating when handed anything tracked.  With only safe
+  // arguments it cannot reach caller-visible state — the subjects use no
+  // mutable globals (DESIGN.md §7 assumptions).
+  emit(i, args_tracked, true, args_param_only);
+}
+
+/// Tries to parse a local-variable declaration at statement start; on
+/// success registers the names and leaves `next` at the initializer (so the
+/// linear scan still sees calls inside it) or after the declarator.
+bool BodyScan::try_decl(std::size_t i, std::size_t& next) {
+  std::size_t j = i;
+  bool saw_const = false;
+  while (tk(j) == "const" || tk(j) == "static" || tk(j) == "constexpr") {
+    if (tk(j) == "const") saw_const = true;
+    ++j;
+  }
+  bool is_auto = false;
+  if (tk(j) == "auto") {
+    is_auto = true;
+    ++j;
+  } else {
+    const std::string& first = tk(j);
+    if (!is_ident(first) || is_number(first)) return false;
+    if (keywords().count(first) && !builtin_types().count(first)) return false;
+    if (builtin_types().count(first)) {
+      while (builtin_types().count(tk(j))) ++j;
+    } else {
+      ++j;
+      while (tk(j) == "::" && is_ident(tk(j + 1))) j += 2;
+    }
+    if (tk(j) == "<") {  // template arguments; `>>` closes two levels
+      int depth = 0;
+      bool closed = false;
+      for (; j < body_.size(); ++j) {
+        const std::string& t = tk(j);
+        if (t == "<") ++depth;
+        else if (t == ">") {
+          if (--depth == 0) {
+            ++j;
+            closed = true;
+            break;
+          }
+        } else if (t == ">>") {
+          depth -= 2;
+          if (depth <= 0) {
+            ++j;
+            closed = true;
+            break;
+          }
+        } else if (t == ";" || t == "{" || t == "}") {
+          return false;
+        }
+      }
+      if (!closed) return false;
+    }
+  }
+  bool is_ptr = false, is_ref = false;
+  while (tk(j) == "*" || tk(j) == "&" || tk(j) == "&&" || tk(j) == "const") {
+    if (tk(j) == "*") is_ptr = true;
+    else if (tk(j) == "const") saw_const = true;
+    else is_ref = true;
+    ++j;
+  }
+
+  if (is_auto && tk(j) == "[") {  // structured binding
+    std::vector<std::string> names;
+    for (++j; j < body_.size() && tk(j) != "]"; ++j)
+      if (is_ident(tk(j))) names.push_back(tk(j));
+    if (tk(j) != "]") return false;
+    ++j;
+    if (tk(j) != "=" && tk(j) != ":") return false;
+    const bool track = is_ref && !saw_const;
+    for (const std::string& n : names) locals_[n] = Var{track, !is_ref};
+    next = j + 1;
+    return true;
+  }
+
+  const std::string& name = tk(j);
+  if (!is_ident(name) || is_number(name) || keywords().count(name))
+    return false;
+  const std::string& after = tk(j + 1);
+  if (after != "=" && after != ";" && after != "," && after != ":" &&
+      after != "(" && after != "{" && after != ")")
+    return false;
+
+  bool track;
+  bool value_type = false;
+  if (is_ref) {
+    track = !saw_const;  // non-const alias: writes hit the aliased object
+  } else if (is_ptr || is_auto) {
+    const std::size_t b = after == "=" ? j + 2 : j + 1;
+    std::size_t e = b;
+    if (after == "=") {
+      int depth = 0;
+      for (e = b; e < body_.size(); ++e) {
+        const std::string& t = tk(e);
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        else if (t == ")" || t == "]" || t == "}") {
+          if (--depth < 0) break;
+        } else if ((t == ";" || t == ",") && depth == 0) {
+          break;
+        }
+      }
+    }
+    track = !expr_fresh(b, e);
+  } else {
+    track = false;
+    value_type = true;
+  }
+  locals_[name] = Var{track, value_type};
+  next = after == "=" ? j + 2 : j + 1;
+  return true;
+}
+
+void BodyScan::run() {
+  bool stmt_start = true;
+  std::size_t i = 0;
+  while (i < body_.size()) {
+    const std::string& t = tk(i);
+    if (t == ";" || t == "{" || t == "}") {
+      stmt_start = true;
+      ++i;
+      continue;
+    }
+    if (t == "(") {
+      stmt_start = true;  // for-init / if-declaration positions
+      ++i;
+      continue;
+    }
+    if (t == "throw") {
+      // The thrown expression's constructor runs before anything can have
+      // been mutated by it; suppress its call events.
+      emit(i, false, true, false);
+      i = stmt_end(i) + 1;
+      stmt_start = true;
+      continue;
+    }
+    if (t == "catch") {
+      catches = true;
+      ++i;
+      continue;
+    }
+    if (t == "delete") {
+      const Chain c = chain_after(i + 1 < body_.size() && tk(i + 1) == "["
+                                      ? i + 3
+                                      : i + 1);
+      if (tracked(c.base)) emit_mut(i, c.base);
+      ++i;
+      continue;
+    }
+    if (stmt_start && is_ident(t)) {
+      std::size_t next = i;
+      if (try_decl(i, next)) {
+        stmt_start = false;
+        i = next;
+        continue;
+      }
+    }
+    stmt_start = false;
+    if (is_ident(t) && !keywords().count(t) && !is_number(t)) {
+      if (tk(i + 1) == "(") handle_call(i);
+      ++i;
+      continue;
+    }
+    if (t == "=" || t == "+=" || t == "-=" || t == "*=" || t == "/=" ||
+        t == "%=" || t == "&=" || t == "|=" || t == "^=" || t == "<<=" ||
+        t == ">>=") {
+      const Chain c = chain_before(i);
+      if (c.deref) {
+        if (tracked(c.base)) emit_mut(i, c.base);
+      } else if (c.base == Kind::Env || c.base == Kind::TrackedParam) {
+        emit_mut(i, c.base);
+      } else if (t == "=" &&
+                 (c.base == Kind::Fresh || c.base == Kind::TrackedLocal)) {
+        // Reassigning a local pointer: its freshness follows the new value.
+        std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) - 1;
+        while (j >= 0 && !is_ident(tk(static_cast<std::size_t>(j)))) --j;
+        if (j >= 0) {
+          auto it = locals_.find(tk(static_cast<std::size_t>(j)));
+          if (it != locals_.end() && !it->second.value_type)
+            it->second.tracked = !expr_fresh(i + 1, stmt_end(i));
+        }
+      }
+      ++i;
+      continue;
+    }
+    if (t == "++" || t == "--") {
+      const std::string& nxt = tk(i + 1);
+      const Chain c = (is_ident(nxt) || nxt == "(" || nxt == "*")
+                          ? chain_after(i + 1)
+                          : chain_before(i);
+      if (c.deref ? tracked(c.base)
+                  : (c.base == Kind::Env || c.base == Kind::TrackedParam))
+        emit_mut(i, c.base == Kind::TrackedParam ? Kind::TrackedParam
+                                                 : Kind::Env);
+      ++i;
+      continue;
+    }
+    if (t == "<<" || t == ">>") {
+      // Stream insertion/extraction mutates its left operand (shifts on
+      // literals and untracked values resolve to Kind::None/Fresh).
+      const Chain c = chain_before(i);
+      if (c.base == Kind::Env || c.base == Kind::TrackedParam ||
+          c.base == Kind::TrackedLocal)
+        emit_mut(i, c.base);
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+}
+
+/// Extracted FAT_INVOKE lambda body of an instrumented wrapper, or the whole
+/// body when no invoke macro is present (plain helpers).
+Tokens effective_body(const FunctionDef& def, bool* instrumented_macro) {
+  *instrumented_macro = false;
+  for (std::size_t i = 0; i < def.body.size(); ++i) {
+    if (def.body[i].text.rfind("FAT_INVOKE", 0) != 0) continue;
+    for (std::size_t j = i + 1; j < def.body.size(); ++j) {
+      if (def.body[j].text != "{") continue;
+      int depth = 0;
+      for (std::size_t k = j; k < def.body.size(); ++k) {
+        if (def.body[k].text == "{") ++depth;
+        else if (def.body[k].text == "}" && --depth == 0) {
+          *instrumented_macro = true;
+          return Tokens(def.body.begin() + static_cast<std::ptrdiff_t>(j) + 1,
+                        def.body.begin() + static_cast<std::ptrdiff_t>(k));
+        }
+      }
+      return def.body;
+    }
+  }
+  return def.body;
+}
+
+/// Matches a definition's (namespace-qualified) class name to a ClassModel
+/// key as written in FAT_METHOD_INFO — exact first, then suffix.
+const ClassModel* class_of(const SourceModel& model, const std::string& cls) {
+  if (cls.empty()) return nullptr;
+  if (const ClassModel* cm = model.find_class(cls)) return cm;
+  for (const auto& [key, cm] : model.classes) {
+    if (key.size() < cls.size() &&
+        cls.compare(cls.size() - key.size(), key.size(), key) == 0 &&
+        cls[cls.size() - key.size() - 1] == ':')
+      return &cm;
+    if (cls.size() < key.size() &&
+        key.compare(key.size() - cls.size(), cls.size(), cls) == 0 &&
+        key[key.size() - cls.size() - 1] == ':')
+      return &cm;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+EffectAnalysis analyze_effects(const SourceModel& model) {
+  struct Scanned {
+    const FunctionDef* def;
+    Tokens body;  ///< effective body (invoke lambda for instrumented defs)
+    std::string key;
+    bool instrumented = false;
+  };
+  std::vector<Scanned> defs;
+  for (const FunctionDef& def : model.functions) {
+    Scanned s;
+    s.def = &def;
+    bool has_invoke = false;
+    s.body = effective_body(def, &has_invoke);
+    const ClassModel* cm = class_of(model, def.class_name);
+    s.instrumented = has_invoke ||
+                     (cm != nullptr && (cm->instrumented.count(def.name) ||
+                                        cm->statics.count(def.name)));
+    s.key = def.class_name.empty() ? def.name
+                                   : def.class_name + "::" + def.name;
+    defs.push_back(std::move(s));
+  }
+
+  // Optimistic interprocedural fixpoint: summary bits start false and the
+  // scan is monotone in them, so iteration converges; recursion and sibling
+  // calls settle within the depth of the call DAG's SCC structure.
+  std::map<std::string, FnSummary> by_key, by_name;
+  Ctx ctx{&model, &by_key, &by_name};
+  for (int round = 0; round < 10; ++round) {
+    bool changed = false;
+    for (const Scanned& s : defs) {
+      BodyScan scan(s.body, *s.def, ctx);
+      scan.run();
+      FnSummary next;
+      for (const Event& ev : scan.events) {
+        if (ev.mut && ev.via_param) next.mutates_params = true;
+        if (ev.mut && !ev.via_param) next.mutates_env = true;
+        if (ev.thr) next.may_throw = true;
+      }
+      next.may_throw |= s.instrumented;  // injection point at wrapper entry
+      next.catches = scan.catches;
+      FnSummary& cur = by_key[s.key];
+      FnSummary merged{cur.mutates_env || next.mutates_env,
+                       cur.mutates_params || next.mutates_params,
+                       cur.may_throw || next.may_throw,
+                       cur.catches || next.catches};
+      if (merged.mutates_env != cur.mutates_env ||
+          merged.mutates_params != cur.mutates_params ||
+          merged.may_throw != cur.may_throw || merged.catches != cur.catches)
+        changed = true;
+      cur = merged;
+    }
+    by_name.clear();
+    for (const Scanned& s : defs) {
+      const FnSummary& src = by_key[s.key];
+      FnSummary& dst = by_name[s.def->name];
+      dst.mutates_env |= src.mutates_env;
+      dst.mutates_params |= src.mutates_params;
+      dst.may_throw |= src.may_throw;
+      dst.catches |= src.catches;
+    }
+    if (!changed) break;
+  }
+
+  // Final positioned pass over every instrumented method: the verdict.
+  EffectAnalysis out;
+  out.helpers = by_key;
+  for (const auto& [cls_name, cm] : model.classes) {
+    auto add = [&](const std::string& method, bool is_static) {
+      EffectSummary es;
+      es.class_name = cls_name;
+      es.method_name = method;
+      es.qualified_name = cls_name + "::" + method;
+      es.is_static = is_static;
+      for (const Scanned& s : defs) {
+        if (s.def->name != method) continue;
+        if (class_of(model, s.def->class_name) != &cm) continue;
+        BodyScan scan(s.body, *s.def, ctx);
+        scan.run();
+        es.scanned = true;
+        es.catches = scan.catches;
+        std::size_t first_mut = std::numeric_limits<std::size_t>::max();
+        std::size_t last_thr = 0;
+        for (const Event& ev : scan.events) {
+          if (ev.mut) {
+            ++es.mutation_events;
+            first_mut = std::min(first_mut, ev.pos);
+          }
+          if (ev.thr) {
+            ++es.throw_events;
+            last_thr = std::max(last_thr, ev.pos);
+          }
+        }
+        es.read_only = es.mutation_events == 0;
+        es.commit_point_last = es.mutation_events == 0 ||
+                               es.throw_events == 0 || last_thr < first_mut;
+        break;
+      }
+      out.methods[es.qualified_name] = std::move(es);
+    };
+    for (const std::string& m : cm.instrumented) add(m, false);
+    for (const std::string& m : cm.statics) add(m, true);
+  }
+  return out;
+}
+
+}  // namespace fatomic::analyze

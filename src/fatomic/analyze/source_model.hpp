@@ -1,0 +1,112 @@
+// Pass 0 of the static analyzer: a lightweight lexical model of the subject
+// sources.  The paper's Analyzer (Figure 1, step 1) works on Java bytecode;
+// our substitute tokenizes the instrumented C++ subject tree directly — no
+// compiler front end — and recovers exactly the facts the effect and
+// exception-flow passes need:
+//
+//   - per-class instrumentation metadata (FAT_METHOD_INFO / FAT_STATIC_INFO /
+//     FAT_CTOR_INFO declarations and their FAT_THROWS lists),
+//   - reflected member fields (FAT_REFLECT / FAT_FIELD),
+//   - every out-of-line function definition (instrumented wrapper bodies,
+//     un-instrumented helpers, and file-local free functions) with its
+//     parameter list and body token stream,
+//   - names of verified-clean inline const accessors (no throws, no calls
+//     into instrumented code), which the effect pass may treat as pure.
+//
+// The model is deliberately conservative: anything the scanner cannot parse
+// is simply absent, and absent means "unknown" (never "safe") downstream.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fatomic::analyze {
+
+/// One lexical token.  Comments and preprocessor lines are stripped; string
+/// and character literals are collapsed to "" / '' placeholder tokens so
+/// their contents can never be mistaken for code.
+struct Token {
+  std::string text;
+};
+
+/// Tokenizes C++ source text.  Multi-character operators ("::", "->", "++",
+/// "+=", "<<", ...) form single tokens.
+std::vector<Token> tokenize(const std::string& source);
+
+/// One declared parameter of a function definition.
+struct Param {
+  std::string name;  ///< empty for unnamed parameters
+  bool is_const = false;
+  bool is_ref = false;
+  bool is_ptr = false;
+};
+
+/// An out-of-line function definition recovered from a source file.
+struct FunctionDef {
+  /// Qualified class name ("subjects::collections::LinkedList") for member
+  /// definitions; empty for free functions (including anonymous-namespace
+  /// ones).
+  std::string class_name;
+  std::string name;
+  bool is_const = false;
+  std::vector<Param> params;
+  /// Tokens strictly between the outermost body braces.
+  std::vector<Token> body;
+  std::string file;
+};
+
+/// Everything the scanner learned about one instrumented class.
+struct ClassModel {
+  std::string qualified_name;
+  /// Reflected member fields (FAT_REFLECT / FAT_FIELD).
+  std::set<std::string> fields;
+  /// Methods declared with FAT_METHOD_INFO (injection-wrapped, receiver).
+  std::set<std::string> instrumented;
+  /// Methods declared with FAT_STATIC_INFO (injection points, no receiver).
+  std::set<std::string> statics;
+  bool has_ctor_info = false;
+  /// Declared exceptions per method, as written in FAT_THROWS (fully
+  /// qualified type names).
+  std::map<std::string, std::vector<std::string>> declared_throws;
+};
+
+struct SourceModel {
+  /// Instrumented classes by qualified name.
+  std::map<std::string, ClassModel> classes;
+  /// Every function definition found, in scan order.
+  std::vector<FunctionDef> functions;
+  /// Union of instrumented method names across all classes — used to treat
+  /// a dot/arrow call to any such name as a potential injection point no
+  /// matter the (unknown) receiver type.
+  std::set<std::string> instrumented_names;
+  /// Names of inline const methods whose header bodies were verified free
+  /// of throws and of calls into instrumented code; calls to them are
+  /// effect-free.
+  std::set<std::string> clean_const_names;
+  /// Declared types of members and variables, merged across all scanned
+  /// declarations by name (conflicting declarations concatenate, which can
+  /// only make the effect pass more conservative).  Lets the scanner tell
+  /// `head_.reset()` — a smart-pointer accessor — from `re_.reset()` — a
+  /// call into an instrumented subject object — when both names collide
+  /// with instrumented methods.
+  std::map<std::string, std::string> declared_types;
+  /// Simple (unqualified) names of every class/struct declared anywhere in
+  /// the scanned tree — lets the effect pass recognize `Parser(src)` as a
+  /// temporary-constructing expression rather than an unknown call result.
+  std::set<std::string> class_names;
+  /// Files scanned, relative to the scan root.
+  std::vector<std::string> files;
+
+  const ClassModel* find_class(const std::string& qualified) const {
+    auto it = classes.find(qualified);
+    return it == classes.end() ? nullptr : &it->second;
+  }
+};
+
+/// Recursively scans `root` for .hpp/.cpp files and builds the model.
+/// Throws std::runtime_error when root does not exist.
+SourceModel scan_sources(const std::string& root);
+
+}  // namespace fatomic::analyze

@@ -37,23 +37,39 @@ std::size_t CallGraph::edge_count() const {
   return n;
 }
 
+std::string dot_quote(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 2);
+  out.push_back('"');
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 std::string CallGraph::to_dot(const Classification* cls) const {
   std::ostringstream os;
   os << "digraph calls {\n  rankdir=LR;\n  node [shape=box];\n";
   if (cls != nullptr) {
     for (const auto& m : cls->methods) {
       if (m.cls == MethodClass::PureNonAtomic)
-        os << "  \"" << m.method->qualified_name()
-           << "\" [color=red, style=filled, fillcolor=mistyrose];\n";
+        os << "  " << dot_quote(m.method->qualified_name())
+           << " [color=red, style=filled, fillcolor=mistyrose];\n";
       else if (m.cls == MethodClass::ConditionalNonAtomic)
-        os << "  \"" << m.method->qualified_name()
-           << "\" [color=orange, style=filled, fillcolor=papayawhip];\n";
+        os << "  " << dot_quote(m.method->qualified_name())
+           << " [color=orange, style=filled, fillcolor=papayawhip];\n";
     }
   }
   for (const auto& [caller, callees] : edges_)
     for (const auto& [callee, count] : callees)
-      os << "  \"" << caller << "\" -> \"" << callee << "\" [label=" << count
-         << "];\n";
+      os << "  " << dot_quote(caller) << " -> " << dot_quote(callee)
+         << " [label=" << count << "];\n";
   os << "}\n";
   return os.str();
 }

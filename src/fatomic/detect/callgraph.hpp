@@ -23,6 +23,11 @@
 
 namespace fatomic::detect {
 
+/// Quotes a node name for Graphviz: template instantiations put `"`, `\`
+/// and `<>` into qualified names, and an unescaped quote or backslash inside
+/// a double-quoted DOT ID breaks the generated file.
+std::string dot_quote(const std::string& name);
+
 /// Dynamic call graph observed in the Count baseline run.
 class CallGraph {
  public:

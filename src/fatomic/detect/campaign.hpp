@@ -39,6 +39,10 @@ struct Campaign {
   /// ran with Options::jobs > 1, and restricted to the runs the campaign
   /// keeps, so parallel and sequential campaigns report identical totals.
   weave::RuntimeStats stats;
+  /// Injector runs skipped by static pruning (Options::prune_atomic): the
+  /// thresholds whose entire injection-time call stack was statically proven
+  /// failure atomic.  0 for unpruned campaigns.
+  std::uint64_t pruned_runs = 0;
 
   /// Number of exceptions actually injected (Table 1, #Injections).
   std::uint64_t injections() const {

@@ -102,6 +102,19 @@ Campaign Experiment::run() {
   auto& rt = weave::Runtime::instance();
   Campaign campaign;
 
+  // With static pruning requested, the baseline additionally records the
+  // call stack at every wrapped call — one stack per injection-point group,
+  // in the exact order the injector's point counter visits them.
+  struct SiteFlag {
+    weave::Runtime& rt;
+    bool saved;
+    ~SiteFlag() {
+      rt.record_call_sites = saved;
+      rt.call_sites.clear();
+    }
+  } site_flag{rt, rt.record_call_sites};
+  rt.record_call_sites = !opts_.prune_atomic.empty();
+
   // Baseline: call counts of the original program (Figures 2b / 3b).  A
   // program that escapes an exception even uninjected still yields a
   // baseline — the counts observed up to the escape — and its terminal
@@ -115,6 +128,33 @@ Campaign Experiment::run() {
     }
     campaign.call_counts = rt.call_counts;
     campaign.call_edges = rt.call_edges;
+  }
+
+  // Map thresholds to statically skippable runs.  Each wrapped call fires
+  // one injection point per exception spec of its innermost method
+  // (declared first, then the runtime exceptions — fire_injection_points),
+  // so the k-th recorded stack covers a contiguous block of thresholds.  A
+  // threshold is skippable when every frame with a receiver on its stack is
+  // statically proven atomic: the run could only produce atomic marks for
+  // already-proven methods (frames without a receiver never produce marks),
+  // leaving the classification sets unchanged.  DESIGN.md §7.
+  std::vector<bool> prunable;
+  if (!opts_.prune_atomic.empty()) {
+    prunable.assign(1, false);  // thresholds are 1-based
+    const std::size_t runtime_specs = rt.runtime_exceptions().size();
+    for (const auto& stack : rt.call_sites) {
+      const std::size_t specs = stack.back()->declared().size() + runtime_specs;
+      bool skippable = true;
+      for (const weave::MethodInfo* frame : stack) {
+        if (!frame->has_receiver()) continue;
+        if (opts_.prune_atomic.count(frame->qualified_name()) == 0) {
+          skippable = false;
+          break;
+        }
+      }
+      prunable.insert(prunable.end(), specs, skippable);
+    }
+    rt.call_sites.clear();
   }
 
   ScopedWrap wrap(opts_.masked ? opts_.wrap : nullptr);
@@ -133,21 +173,47 @@ Campaign Experiment::run() {
     jobs = static_cast<unsigned>(opts_.max_runs);
 
   if (jobs > 1)
-    run_parallel(campaign, mode, jobs);
+    run_parallel(campaign, mode, jobs, prunable);
   else
-    run_sequential(campaign, mode);
+    run_sequential(campaign, mode, prunable);
   return campaign;
 }
 
-void Experiment::run_sequential(Campaign& campaign, weave::Mode mode) {
+namespace {
+
+bool is_prunable(const std::vector<bool>& prunable, std::uint64_t threshold) {
+  return threshold < prunable.size() && prunable[threshold];
+}
+
+/// Skipped runs the sequential loop would have executed: every prunable
+/// threshold strictly below the campaign's final cutoff.
+std::uint64_t count_pruned(const std::vector<bool>& prunable,
+                           std::uint64_t cutoff) {
+  std::uint64_t n = 0;
+  for (std::uint64_t t = 1; t < cutoff && t < prunable.size(); ++t)
+    if (prunable[t]) ++n;
+  return n;
+}
+
+}  // namespace
+
+void Experiment::run_sequential(Campaign& campaign, weave::Mode mode,
+                                const std::vector<bool>& prunable) {
   auto& rt = weave::Runtime::instance();
+  std::uint64_t cutoff = opts_.max_runs + 1;
   for (std::uint64_t threshold = 1; threshold <= opts_.max_runs; ++threshold) {
-    if (absorb(campaign, run_once(program_, rt, mode, threshold))) break;
+    if (is_prunable(prunable, threshold)) continue;
+    if (absorb(campaign, run_once(program_, rt, mode, threshold))) {
+      cutoff = threshold;
+      break;
+    }
   }
+  campaign.pruned_runs = count_pruned(prunable, cutoff);
 }
 
 void Experiment::run_parallel(Campaign& campaign, weave::Mode mode,
-                              unsigned jobs) {
+                              unsigned jobs,
+                              const std::vector<bool>& prunable) {
   auto& parent = weave::Runtime::instance();
 
   // Workers claim thresholds from a shared counter; `stop` carries the
@@ -171,6 +237,7 @@ void Experiment::run_parallel(Campaign& campaign, weave::Mode mode,
       for (;;) {
         const std::uint64_t threshold = next.fetch_add(1);
         if (threshold > opts_.max_runs || threshold > stop.load()) break;
+        if (is_prunable(prunable, threshold)) continue;
         RunOutcome out = run_once(program_, rt, mode, threshold);
         if (out.terminal) {
           std::uint64_t cur = stop.load();
@@ -207,6 +274,7 @@ void Experiment::run_parallel(Campaign& campaign, weave::Mode mode,
     if (threshold > cutoff) continue;
     absorb(campaign, std::move(out));
   }
+  campaign.pruned_runs = count_pruned(prunable, cutoff);
 }
 
 }  // namespace fatomic::detect

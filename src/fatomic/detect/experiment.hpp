@@ -13,6 +13,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "fatomic/detect/campaign.hpp"
 #include "fatomic/weave/runtime.hpp"
@@ -45,6 +48,16 @@ struct Options {
   /// state the failed method left behind).  Costs one diff per intercepted
   /// exception.
   bool record_diffs = false;
+
+  /// Static campaign pruning (analyze::StaticReport::prune_set feeds this):
+  /// qualified names of methods the static analysis proved failure atomic.
+  /// The Count baseline additionally records the call stack at every
+  /// injection point; a threshold whose entire stack consists of methods in
+  /// this set is skipped — the run could only produce atomic marks for
+  /// methods already known atomic, so the resulting classification sets are
+  /// unchanged while the campaign executes fewer injector runs.  Empty set =
+  /// no pruning.  Soundness argument: DESIGN.md §7.
+  std::set<std::string> prune_atomic;
 };
 
 class Experiment {
@@ -53,12 +66,18 @@ class Experiment {
 
   /// Runs the full campaign: one Count-mode baseline run for call counts,
   /// then one injector run per injection point (parallelised over
-  /// Options::jobs workers when jobs != 1).
+  /// Options::jobs workers when jobs != 1).  With Options::prune_atomic,
+  /// thresholds whose injection-time call stack is entirely proven atomic
+  /// are skipped and counted in Campaign::pruned_runs instead.
   Campaign run();
 
  private:
-  void run_sequential(Campaign& campaign, weave::Mode mode);
-  void run_parallel(Campaign& campaign, weave::Mode mode, unsigned jobs);
+  /// prunable[t] == true means threshold t is statically skippable; the
+  /// vector is empty when pruning is off.
+  void run_sequential(Campaign& campaign, weave::Mode mode,
+                      const std::vector<bool>& prunable);
+  void run_parallel(Campaign& campaign, weave::Mode mode, unsigned jobs,
+                    const std::vector<bool>& prunable);
 
   std::function<void()> program_;
   Options opts_;

@@ -25,6 +25,10 @@
 //   assert(verified.nonatomic_names().empty());
 #pragma once
 
+#include "fatomic/analyze/effects.hpp"
+#include "fatomic/analyze/exception_flow.hpp"
+#include "fatomic/analyze/source_model.hpp"
+#include "fatomic/analyze/static_report.hpp"
 #include "fatomic/common/error.hpp"
 #include "fatomic/detect/callgraph.hpp"
 #include "fatomic/detect/classify.hpp"

@@ -1,5 +1,6 @@
 #include "fatomic/report/json.hpp"
 
+#include <map>
 #include <sstream>
 
 namespace fatomic::report {
@@ -83,6 +84,7 @@ std::string campaign_json(const detect::Campaign& campaign) {
   std::ostringstream os;
   os << "{\"runs\":" << campaign.runs.size()
      << ",\"injections\":" << campaign.injections()
+     << ",\"pruned_runs\":" << campaign.pruned_runs
      << ",\"methods\":" << campaign.distinct_methods()
      << ",\"classes\":" << campaign.distinct_classes()
      << ",\"total_calls\":" << campaign.total_calls()
@@ -104,6 +106,53 @@ std::string campaign_json(const detect::Campaign& campaign) {
        << ",\"marks\":" << run.marks.size() << '}';
   }
   os << "]}";
+  return os.str();
+}
+
+std::string campaign_json(const detect::Campaign& campaign,
+                          const detect::Classification& cls,
+                          const analyze::StaticReport& report) {
+  std::string base = campaign_json(campaign);
+  base.pop_back();  // drop the closing brace, append the static section
+
+  std::ostringstream os;
+  os << base << ",\"static_analysis\":{\"methods\":[";
+  bool first = true;
+  for (const auto& [name, es] : report.effects.methods) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(name) << "\",\"verdict\":\""
+       << es.verdict() << "\",\"proven_atomic\":"
+       << (es.proven_atomic() ? "true" : "false")
+       << ",\"catches\":" << (es.catches ? "true" : "false")
+       << ",\"mutation_events\":" << es.mutation_events
+       << ",\"throw_events\":" << es.throw_events << '}';
+  }
+  // Agreement matrix: static verdict x dynamic classification.  Perfect
+  // static analysis would put every proven method in the "atomic" column;
+  // proven methods in non-atomic columns would disprove the prover.
+  std::map<std::string, std::map<std::string, std::size_t>> matrix;
+  for (const auto& [name, es] : report.effects.methods) {
+    const detect::MethodResult* dyn = cls.find(name);
+    const char* dynamic_tag = dyn == nullptr ? "unobserved" : cls_tag(dyn->cls);
+    const char* static_tag = es.proven_atomic() ? "proven" : es.verdict();
+    ++matrix[static_tag][dynamic_tag];
+  }
+  os << "],\"agreement\":{";
+  first = true;
+  for (const auto& [static_tag, row] : matrix) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << static_tag << "\":{";
+    bool inner = true;
+    for (const auto& [dynamic_tag, count] : row) {
+      if (!inner) os << ',';
+      inner = false;
+      os << '"' << dynamic_tag << "\":" << count;
+    }
+    os << '}';
+  }
+  os << "}}}";
   return os.str();
 }
 

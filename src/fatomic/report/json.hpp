@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "fatomic/analyze/static_report.hpp"
 #include "fatomic/detect/campaign.hpp"
 #include "fatomic/detect/classify.hpp"
 
@@ -15,6 +16,14 @@ std::string classification_json(const detect::Classification& cls);
 
 /// Campaign summary: runs, injections, per-run injected site and outcome.
 std::string campaign_json(const detect::Campaign& campaign);
+
+/// Campaign summary extended with a "static_analysis" section: per-method
+/// static verdicts plus the static-vs-dynamic agreement matrix (static
+/// verdict x dynamic classification, with "unobserved" for methods the
+/// campaign never called).
+std::string campaign_json(const detect::Campaign& campaign,
+                          const detect::Classification& cls,
+                          const analyze::StaticReport& report);
 
 /// Escapes a string for inclusion in JSON output.
 std::string json_escape(const std::string& s);

@@ -1,0 +1,40 @@
+// Name of the exception currently in flight, for the exception-flow lint
+// (analyze/exception_flow.hpp): an injection wrapper that intercepts a
+// propagating exception records its demangled type name in the Mark, so the
+// static Analyzer can cross-check every dynamically observed exception
+// against the method's computed may-propagate set.
+//
+// Uses the Itanium C++ ABI introspection hooks (GCC/Clang); on other
+// toolchains the name is empty and the lint degrades to a no-op.
+#pragma once
+
+#include <string>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+
+#include <cstdlib>
+#include <typeinfo>
+#endif
+
+namespace fatomic::weave {
+
+/// Demangled type name of the exception being handled by the innermost
+/// enclosing catch block, or "" when unavailable.  Must be called from
+/// inside a catch handler.
+inline std::string current_exception_type_name() {
+#if defined(__GNUG__)
+  const std::type_info* ti = abi::__cxa_current_exception_type();
+  if (ti == nullptr) return {};
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(ti->name(), nullptr, nullptr, &status);
+  if (status != 0 || demangled == nullptr) return ti->name();
+  std::string out(demangled);
+  std::free(demangled);
+  return out;
+#else
+  return {};
+#endif
+}
+
+}  // namespace fatomic::weave

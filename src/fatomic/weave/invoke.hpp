@@ -19,6 +19,7 @@
 
 #include "fatomic/snapshot/diff.hpp"
 #include "fatomic/snapshot/restore.hpp"
+#include "fatomic/weave/exception_name.hpp"
 #include "fatomic/weave/method_info.hpp"
 #include "fatomic/weave/runtime.hpp"
 
@@ -96,7 +97,8 @@ decltype(auto) injected_call(const MethodInfo& mi, Root& root, Fn&& body,
     if (!atomic && rt.record_diffs)
       detail = snapshot::first_difference(before, after);
     rt.marks.push_back(Mark{&mi, atomic, rt.injection_point, rt.depth,
-                            std::move(detail)});
+                            std::move(detail),
+                            current_exception_type_name()});
     throw;
   }
 }
@@ -111,6 +113,7 @@ struct CountFrame {
         rt.call_stack.empty() ? nullptr : rt.call_stack.back();
     ++rt.call_edges[{caller, &mi}];
     rt.call_stack.push_back(&mi);
+    if (rt.record_call_sites) rt.call_sites.push_back(rt.call_stack);
   }
   ~CountFrame() { rt.call_stack.pop_back(); }
 };

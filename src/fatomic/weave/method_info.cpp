@@ -22,6 +22,7 @@ MethodRegistry& MethodRegistry::instance() {
 void MethodRegistry::add(const MethodInfo* mi) {
   std::lock_guard<std::mutex> lock(mu_);
   methods_.push_back(mi);
+  by_name_.emplace(mi->qualified_name(), mi);
 }
 
 std::vector<const MethodInfo*> MethodRegistry::all() const {
@@ -32,9 +33,8 @@ std::vector<const MethodInfo*> MethodRegistry::all() const {
 const MethodInfo* MethodRegistry::find(
     const std::string& qualified_name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const MethodInfo* mi : methods_)
-    if (mi->qualified_name() == qualified_name) return mi;
-  return nullptr;
+  const auto it = by_name_.find(qualified_name);
+  return it != by_name_.end() ? it->second : nullptr;
 }
 
 }  // namespace fatomic::weave

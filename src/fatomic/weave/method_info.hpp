@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -68,12 +69,17 @@ class MethodRegistry {
   /// Snapshot of the registered methods, in registration order.
   std::vector<const MethodInfo*> all() const;
 
-  /// Returns nullptr when no method has that qualified name.
+  /// Returns nullptr when no method has that qualified name.  O(log n):
+  /// lookups are hot both in campaign loops and in the static analyzer's
+  /// fixpoint passes.
   const MethodInfo* find(const std::string& qualified_name) const;
 
  private:
   mutable std::mutex mu_;
   std::vector<const MethodInfo*> methods_;
+  /// Index over methods_ by qualified name; on duplicate registrations the
+  /// first-registered method wins, matching the old linear scan.
+  std::map<std::string, const MethodInfo*> by_name_;
 };
 
 }  // namespace fatomic::weave

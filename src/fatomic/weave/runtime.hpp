@@ -54,6 +54,11 @@ struct Mark {
   /// One-line description of the first object-graph difference (only for
   /// non-atomic marks, and only when Runtime::record_diffs is set).
   std::string detail;
+  /// Demangled type name of the exception that passed through the wrapper
+  /// (injected or real); empty on toolchains without ABI introspection.
+  /// Consumed by the exception-flow lint, which checks every observed type
+  /// against the method's statically computed may-propagate set.
+  std::string exception_type;
 };
 
 struct RuntimeStats {
@@ -138,10 +143,20 @@ class Runtime {
       call_edges;
   /// Stack of active instrumented methods (Count mode only).
   std::vector<const MethodInfo*> call_stack;
+  /// When set, the Count baseline also records, per wrapped call in call
+  /// order, a copy of the call stack at entry (innermost last).  Because the
+  /// program is deterministic and Count/Inject modes make identical call
+  /// sequences up to the injection, entry k of this vector is the call stack
+  /// the injector will see at the injection points fired by the (k+1)-th
+  /// wrapped call — the mapping static campaign pruning is built on
+  /// (detect::Options::prune_atomic).
+  bool record_call_sites = false;
+  std::vector<std::vector<const MethodInfo*>> call_sites;
   void reset_counts() {
     call_counts.clear();
     call_edges.clear();
     call_stack.clear();
+    call_sites.clear();
   }
 
   // --- masking -----------------------------------------------------------------

@@ -523,6 +523,13 @@ std::vector<App> apps_of(const std::string& language) {
 const App& app(const std::string& name) {
   for (const App& a : all_apps())
     if (a.name == name) return a;
+  // Demo subjects reachable by explicit name only — never part of the
+  // Table 1 sweeps (run_all, CI lint gate).
+  static const std::vector<App> hidden = {
+      {"lintDemo", "C++", run_lint_demo},
+  };
+  for (const App& a : hidden)
+    if (a.name == name) return a;
   throw std::out_of_range("unknown app: " + name);
 }
 

@@ -45,4 +45,8 @@ void run_rb_map();
 void run_rb_tree();
 void run_regexp();
 
+/// Mis-declared demo subject (lint_demo.hpp) — reachable via
+/// app("lintDemo"), excluded from all_apps() so suite sweeps stay clean.
+void run_lint_demo();
+
 }  // namespace subjects::apps

@@ -1,0 +1,42 @@
+#include "subjects/apps/lint_demo.hpp"
+
+#include "subjects/apps/apps.hpp"
+
+namespace subjects::apps {
+
+void LintDemo::record(int v) {
+  FAT_INVOKE(record, [&] {
+    if (v < 0) throw LintDemoError("negative value");
+    sum_ += v;  // single commit step
+    ++count_;
+  });
+}
+
+int LintDemo::total() {
+  return FAT_INVOKE(total, [&] { return sum_; });
+}
+
+void LintDemo::poke(int v) {
+  FAT_INVOKE(poke, [&] {
+    if (v % 2 != 0) throw UndeclaredError();  // not in FAT_THROWS
+    ++pokes_;
+  });
+}
+
+void run_lint_demo() {
+  LintDemo d;
+  for (int i = 0; i < 6; ++i) d.record(i);
+  d.total();
+  try {
+    d.record(-1);  // declared exception path
+  } catch (const LintDemoError&) {
+  }
+  d.poke(2);
+  try {
+    d.poke(3);  // undeclared exception path — the lint must flag this
+  } catch (const UndeclaredError&) {
+  }
+  d.total();
+}
+
+}  // namespace subjects::apps

@@ -1,0 +1,67 @@
+// LintDemo — a deliberately mis-declared subject for exercising the
+// exception-flow lint (analyze/exception_flow.hpp).  `record` declares and
+// throws LintDemoError, so it is correctly annotated; `poke` also declares
+// only LintDemoError but actually raises UndeclaredError on odd inputs.
+// The lint must flag the UndeclaredError observed unwinding through poke's
+// wrapper and nothing else.
+//
+// The subject is reachable through subjects::apps::app("lintDemo") but is
+// deliberately absent from all_apps(), so full-suite sweeps (and the CI
+// `--all --lint` gate) stay clean.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+
+namespace subjects::apps {
+
+class LintDemoError : public std::runtime_error {
+ public:
+  LintDemoError() : std::runtime_error("lint demo error") {}
+  explicit LintDemoError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The type poke() really throws — absent from every FAT_THROWS list.
+class UndeclaredError : public std::runtime_error {
+ public:
+  UndeclaredError() : std::runtime_error("undeclared error") {}
+};
+
+class LintDemo {
+ public:
+  LintDemo() { FAT_CTOR_ENTRY(); }
+
+  int count() const { return count_; }
+
+  /// Correctly declared: throws LintDemoError for negative values.
+  void record(int v);
+  /// Read-only sum of everything recorded.
+  int total();
+  /// Mis-declared: FAT_THROWS says LintDemoError, but odd values raise
+  /// UndeclaredError.
+  void poke(int v);
+
+ private:
+  FAT_REFLECT_FRIEND(LintDemo);
+  FAT_CTOR_INFO(subjects::apps::LintDemo);
+  FAT_METHOD_INFO(subjects::apps::LintDemo, record,
+                  FAT_THROWS(subjects::apps::LintDemoError));
+  FAT_METHOD_INFO(subjects::apps::LintDemo, total);
+  FAT_METHOD_INFO(subjects::apps::LintDemo, poke,
+                  FAT_THROWS(subjects::apps::LintDemoError));
+
+  int sum_ = 0;
+  int count_ = 0;
+  int pokes_ = 0;
+};
+
+}  // namespace subjects::apps
+
+FAT_REFLECT(subjects::apps::LintDemo,
+            FAT_FIELD(subjects::apps::LintDemo, sum_),
+            FAT_FIELD(subjects::apps::LintDemo, count_),
+            FAT_FIELD(subjects::apps::LintDemo, pokes_));

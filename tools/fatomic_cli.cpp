@@ -8,8 +8,10 @@
 //   fatomic_cli --app HashedMap --mask-verify
 //   fatomic_cli --app LinkedList --exception-free Class::method --details
 //   fatomic_cli --all [--language C++|Java] [--csv]
+#include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,10 @@ struct Args {
   bool suggest = false;
   bool mask_verify = false;
   bool diffs = false;
+  bool analyze = false;
+  bool lint = false;
+  bool prune_static = false;
+  bool cross_check = false;
   bool help = false;
 };
 
@@ -57,7 +63,18 @@ int usage(int code) {
       "                         when non-atomic methods remain)\n"
       "  --diffs                attach a graph-diff example to each\n"
       "                         non-atomic method in --details output\n"
-      "  --csv                  with --all: CSV summary\n";
+      "  --csv                  with --all: CSV summary\n"
+      "  --analyze              static effect analysis of the subject\n"
+      "                         sources (per-method verdict table; with\n"
+      "                         --json: static_analysis report section)\n"
+      "  --lint                 cross-check observed exception types against\n"
+      "                         the declared FAT_THROWS sets (exit != 0 on\n"
+      "                         undeclared exceptions; works with --all)\n"
+      "  --prune-static         skip injections at thresholds whose stacks\n"
+      "                         are statically proven failure atomic\n"
+      "  --cross-check          run full and pruned campaigns, verify the\n"
+      "                         classifications are identical (exit != 0\n"
+      "                         on divergence)\n";
   return code;
 }
 
@@ -85,6 +102,14 @@ bool parse(int argc, char** argv, Args& args) {
       args.diffs = true;
     } else if (a == "--mask-verify") {
       args.mask_verify = true;
+    } else if (a == "--analyze") {
+      args.analyze = true;
+    } else if (a == "--lint") {
+      args.lint = true;
+    } else if (a == "--prune-static") {
+      args.prune_static = true;
+    } else if (a == "--cross-check") {
+      args.cross_check = true;
     } else if (a == "--help" || a == "-h") {
       args.help = true;
     } else if (a == "--app") {
@@ -118,11 +143,13 @@ bool parse(int argc, char** argv, Args& args) {
 }
 
 report::AppResult run_campaign(const subjects::apps::App& app,
-                               const detect::Policy& policy,
-                               unsigned jobs, bool record_diffs = false) {
+                               const detect::Policy& policy, unsigned jobs,
+                               bool record_diffs = false,
+                               const std::set<std::string>* prune = nullptr) {
   detect::Options opts;
   opts.jobs = jobs;
   opts.record_diffs = record_diffs;
+  if (prune != nullptr) opts.prune_atomic = *prune;
   detect::Experiment exp(app.program, std::move(opts));
   report::AppResult r;
   r.name = app.name;
@@ -132,12 +159,54 @@ report::AppResult run_campaign(const subjects::apps::App& app,
   return r;
 }
 
+/// Subject source tree fed to the static analyzer (baked in at build time).
+std::string subject_root() {
+  return std::string(FATOMIC_SOURCE_DIR) + "/subjects";
+}
+
+int print_lint(const std::string& app_name, const detect::Campaign& campaign) {
+  const auto findings = fatomic::analyze::lint(campaign);
+  if (findings.empty()) {
+    std::cout << app_name << ": lint clean (every observed exception type "
+                 "is declared)\n";
+    return 0;
+  }
+  for (const auto& f : findings)
+    std::cout << app_name << ": undeclared exception " << f.exception_type
+              << " escaped through " << f.method << " (injection point "
+              << f.injection_point << " at " << f.injected_at << ")\n";
+  return 3;
+}
+
 int run_one(const Args& args) {
   const auto& app = subjects::apps::app(args.app);
   detect::Policy policy;
   for (const auto& m : args.exception_free) policy.exception_free.insert(m);
 
-  report::AppResult result = run_campaign(app, policy, args.jobs, args.diffs);
+  const bool need_static =
+      args.analyze || args.prune_static || args.cross_check;
+  fatomic::analyze::StaticReport sreport;
+  if (need_static) sreport = fatomic::analyze::analyze_sources(subject_root());
+
+  if (args.cross_check) {
+    const auto cc = fatomic::analyze::cross_check(
+        app.program, sreport.prune_set(), args.jobs);
+    std::cout << app.name << ": cross-check "
+              << (cc.identical ? "identical" : "DIVERGED") << ", "
+              << cc.runs_saved << " of " << cc.full.runs.size()
+              << " injector runs pruned\n";
+    if (!cc.identical) {
+      std::cout << "  first mismatch: " << cc.mismatch << '\n';
+      return 2;
+    }
+    return 0;
+  }
+
+  const std::set<std::string> prune =
+      args.prune_static ? sreport.prune_set() : std::set<std::string>{};
+  report::AppResult result =
+      run_campaign(app, policy, args.jobs, args.diffs,
+                   args.prune_static ? &prune : nullptr);
   const auto& cls = result.classification;
 
   std::cout << app.name << " (" << app.language << "): "
@@ -147,12 +216,21 @@ int run_one(const Args& args) {
             << " conditional / "
             << cls.count_methods(detect::MethodClass::PureNonAtomic)
             << " pure non-atomic methods\n";
+  if (args.prune_static)
+    std::cout << "static pruning: " << result.campaign.pruned_runs
+              << " injector runs skipped (" << sreport.proven_count() << " of "
+              << sreport.method_count() << " methods statically proven)\n";
+  if (args.analyze) std::cout << '\n' << sreport.to_text();
 
   if (args.details) std::cout << '\n' << report::method_details(result);
-  if (args.json)
-    std::cout << '\n'
-              << report::classification_json(cls) << '\n'
-              << report::campaign_json(result.campaign) << '\n';
+  if (args.json) {
+    std::cout << '\n' << report::classification_json(cls) << '\n';
+    if (args.analyze)
+      std::cout << report::campaign_json(result.campaign, cls, sreport)
+                << '\n';
+    else
+      std::cout << report::campaign_json(result.campaign) << '\n';
+  }
   if (args.dot) {
     auto graph = detect::CallGraph::from(result.campaign);
     std::cout << '\n' << graph.to_dot(&cls);
@@ -172,15 +250,21 @@ int run_one(const Args& args) {
     for (const auto& name : remaining) std::cout << "  " << name << '\n';
     return remaining.empty() ? 0 : 2;
   }
+  if (args.lint) return print_lint(app.name, result.campaign);
   return 0;
 }
 
 int run_all(const Args& args) {
   std::vector<report::AppResult> results;
+  int lint_status = 0;
   for (const auto& app : subjects::apps::all_apps()) {
     if (!args.language.empty() && app.language != args.language) continue;
     results.push_back(run_campaign(app, detect::Policy{}, args.jobs));
+    if (args.lint)
+      lint_status =
+          std::max(lint_status, print_lint(app.name, results.back().campaign));
   }
+  if (args.lint) return lint_status;
   std::cout << report::table1(results) << '\n';
   std::cout << report::figure_methods(results, "method classification")
             << '\n';
