@@ -57,6 +57,7 @@ int main() {
                "corrected program)\n";
   std::cout << "app\twrapped(pure)\twrapped(all)\tms(pure)\tms(all)\t"
                "both_verified\n";
+  bench_common::JsonArray wrap_rows;
   for (const char* name :
        {"HashedMap", "LinkedList", "CircularList", "RBTree", "stdQ"}) {
     const auto& app = subjects::apps::app(name);
@@ -68,12 +69,21 @@ int main() {
               << all.wrapped_calls << '\t' << pure.ms << '\t' << all.ms
               << '\t' << (pure.verified && all.verified ? "yes" : "NO")
               << '\n';
+    wrap_rows.add_raw(bench_common::JsonObject{}
+                          .put("app", name)
+                          .put("wrapped_pure", pure.wrapped_calls)
+                          .put("wrapped_all", all.wrapped_calls)
+                          .put("ms_pure", pure.ms)
+                          .put("ms_all", all.ms)
+                          .put("both_verified", pure.verified && all.verified)
+                          .dump());
   }
 
   std::cout << "\nAblation 2: injector instrumentation overhead (one program "
                "pass, no injection)\n";
   std::cout << "app\tdirect_ms\tinject_ms\tfactor\n";
   auto& rt = weave::Runtime::instance();
+  bench_common::JsonArray overhead_rows;
   for (const auto& app : subjects::apps::all_apps()) {
     double direct_ms, inject_ms;
     {
@@ -91,6 +101,18 @@ int main() {
     }
     std::cout << app.name << '\t' << direct_ms << '\t' << inject_ms << '\t'
               << (direct_ms > 0 ? inject_ms / direct_ms : 0) << "x\n";
+    overhead_rows.add_raw(
+        bench_common::JsonObject{}
+            .put("app", app.name)
+            .put("direct_ms", direct_ms)
+            .put("inject_ms", inject_ms)
+            .put("factor", direct_ms > 0 ? inject_ms / direct_ms : 0)
+            .dump());
   }
+  bench_common::write_bench_json(
+      "ablation", bench_common::JsonObject{}
+                      .put_raw("wrap_policy", wrap_rows.dump())
+                      .put_raw("instrumentation_overhead", overhead_rows.dump())
+                      .dump());
   return 0;
 }

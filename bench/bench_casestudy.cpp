@@ -19,6 +19,20 @@ using detect::MethodClass;
 
 namespace {
 
+std::string stage_json(const detect::Classification& cls,
+                       std::uint64_t total_calls) {
+  const std::uint64_t pure_calls = cls.count_calls(MethodClass::PureNonAtomic);
+  return bench_common::JsonObject{}
+      .put("pure", cls.count_methods(MethodClass::PureNonAtomic))
+      .put("conditional", cls.count_methods(MethodClass::ConditionalNonAtomic))
+      .put("methods", cls.methods.size())
+      .put("pure_call_share_pct",
+           total_calls == 0 ? 0.0
+                            : 100.0 * static_cast<double>(pure_calls) /
+                                  static_cast<double>(total_calls))
+      .dump();
+}
+
 void report(const char* label, const detect::Classification& cls,
             std::uint64_t total_calls) {
   const std::size_t pure = cls.count_methods(MethodClass::PureNonAtomic);
@@ -67,5 +81,14 @@ int main() {
   std::cout << "\nmasking the remaining pure methods: "
             << verified.nonatomic_names().size()
             << " non-atomic methods remain under re-injection (expect 0)\n";
+  bench_common::write_bench_json(
+      "casestudy",
+      bench_common::JsonObject{}
+          .put_raw("before", stage_json(before, before_campaign.total_calls()))
+          .put_raw("after", stage_json(after, after_campaign.total_calls()))
+          .put_raw("with_policy",
+                   stage_json(with_policy, after_campaign.total_calls()))
+          .put("masked_nonatomic_remaining", verified.nonatomic_names().size())
+          .dump());
   return verified.nonatomic_names().empty() ? 0 : 1;
 }

@@ -1,17 +1,134 @@
 // Shared helpers for the evaluation benches: run a full injection campaign
 // for one named subject application and package the result for the report
-// formatters.
+// formatters, plus a tiny JSON emitter so every bench leaves a
+// machine-readable BENCH_<name>.json artifact next to its stdout table.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "fatomic/detect/classify.hpp"
 #include "fatomic/detect/experiment.hpp"
+#include "fatomic/report/json.hpp"
 #include "fatomic/report/report.hpp"
 #include "subjects/apps/apps.hpp"
 
 namespace bench_common {
+
+namespace detail {
+
+inline std::string number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace detail
+
+/// Minimal append-only JSON object builder.  Key order is insertion order;
+/// nesting goes through put_raw() with another builder's dump().
+class JsonObject {
+ public:
+  template <class T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonObject& put(const std::string& k, T v) {
+    key(k);
+    buf_ += std::to_string(v);
+    return *this;
+  }
+  JsonObject& put(const std::string& k, bool v) {
+    key(k);
+    buf_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonObject& put(const std::string& k, double v) {
+    key(k);
+    buf_ += detail::number(v);
+    return *this;
+  }
+  JsonObject& put(const std::string& k, const std::string& v) {
+    key(k);
+    buf_ += '"' + fatomic::report::json_escape(v) + '"';
+    return *this;
+  }
+  JsonObject& put(const std::string& k, const char* v) {
+    return put(k, std::string(v));
+  }
+  /// Inserts `json` verbatim — for nested objects/arrays.
+  JsonObject& put_raw(const std::string& k, const std::string& json) {
+    key(k);
+    buf_ += json;
+    return *this;
+  }
+  std::string dump() const { return buf_ + "}"; }
+
+ private:
+  void key(const std::string& k) {
+    if (!first_) buf_ += ',';
+    first_ = false;
+    buf_ += '"' + fatomic::report::json_escape(k) + "\":";
+  }
+  std::string buf_ = "{";
+  bool first_ = true;
+};
+
+/// Minimal JSON array builder; elements are pre-rendered JSON values.
+class JsonArray {
+ public:
+  JsonArray& add_raw(const std::string& json) {
+    if (!first_) buf_ += ',';
+    first_ = false;
+    buf_ += json;
+    return *this;
+  }
+  std::string dump() const { return buf_ + "]"; }
+
+ private:
+  std::string buf_ = "[";
+  bool first_ = true;
+};
+
+/// Writes `json` to BENCH_<bench>.json in the working directory and notes
+/// the artifact on stdout so CI logs show where the data went.
+inline void write_bench_json(const std::string& bench,
+                             const std::string& json) {
+  const std::string path = "BENCH_" + bench + ".json";
+  std::ofstream out(path);
+  out << json << '\n';
+  if (out)
+    std::cout << "bench json: " << path << '\n';
+  else
+    std::cerr << "bench json: FAILED to write " << path << '\n';
+}
+
+/// One JSON row per app campaign — the shared shape for the table/figure
+/// bench artifacts.
+inline std::string app_results_json(
+    const std::vector<fatomic::report::AppResult>& apps) {
+  using fatomic::detect::MethodClass;
+  JsonArray rows;
+  for (const auto& r : apps)
+    rows.add_raw(
+        JsonObject{}
+            .put("name", r.name)
+            .put("language", r.language)
+            .put("runs", r.campaign.runs.size())
+            .put("calls", r.campaign.total_calls())
+            .put("methods", r.classification.methods.size())
+            .put("atomic", r.classification.count_methods(MethodClass::Atomic))
+            .put("conditional", r.classification.count_methods(
+                                    MethodClass::ConditionalNonAtomic))
+            .put("pure",
+                 r.classification.count_methods(MethodClass::PureNonAtomic))
+            .dump());
+  return rows.dump();
+}
 
 inline fatomic::report::AppResult run_app_campaign(
     const subjects::apps::App& app) {

@@ -18,5 +18,10 @@ int main() {
     max_pure_calls = std::max(max_pure_calls, fatomic::report::call_shares(a).pure);
   std::cout << "largest pure non-atomic call share across C++ apps: "
             << max_pure_calls << "% (paper: < 0.4%)\n";
+  bench_common::write_bench_json(
+      "fig2", bench_common::JsonObject{}
+                  .put_raw("apps", bench_common::app_results_json(apps))
+                  .put("max_pure_call_share_pct", max_pure_calls)
+                  .dump());
   return 0;
 }

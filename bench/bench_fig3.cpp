@@ -17,5 +17,12 @@ int main() {
   std::cout << "average pure non-atomic method share across Java apps: "
             << sum / static_cast<double>(apps.size())
             << "% (paper: ~20%)\n";
+  bench_common::write_bench_json(
+      "fig3",
+      bench_common::JsonObject{}
+          .put_raw("apps", bench_common::app_results_json(apps))
+          .put("avg_pure_method_share_pct",
+               sum / static_cast<double>(apps.size()))
+          .dump());
   return 0;
 }

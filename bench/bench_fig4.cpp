@@ -14,5 +14,10 @@ int main() {
   std::cout << fatomic::report::figure_classes(
                    java, "Figure 4(b): Java class distribution")
             << '\n';
+  bench_common::write_bench_json(
+      "fig4", bench_common::JsonObject{}
+                  .put_raw("cpp", bench_common::app_results_json(cpp))
+                  .put_raw("java", bench_common::app_results_json(java))
+                  .dump());
   return 0;
 }

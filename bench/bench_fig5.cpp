@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "fatomic/fatomic.hpp"
 
 namespace {
@@ -77,7 +78,9 @@ double median_ns(Payload& p, int calls, int wrap_every, int reps) {
   return xs[static_cast<std::size_t>(reps) / 2];
 }
 
-void figure5() {
+/// Prints the Figure 5 table and returns its rows as a JSON array (the
+/// google-benchmark section below has its own --benchmark_format=json).
+std::string figure5() {
   auto& rt = fatomic::weave::Runtime::instance();
   rt.set_wrap_predicate([](const fatomic::weave::MethodInfo& mi) {
     return mi.method_name() == "work_wrapped";
@@ -100,6 +103,7 @@ void figure5() {
   for (const Ratio& r : ratios) std::cout << '\t' << r.label;
   std::cout << "\toverhead@100%\n";
 
+  bench_common::JsonArray rows;
   for (std::size_t bytes : sizes) {
     Payload p;
     p.resize_bytes(bytes);
@@ -108,18 +112,23 @@ void figure5() {
     const double base = median_ns(p, kCalls, 1, kReps);
     std::cout << bytes;
     double worst = base;
+    bench_common::JsonObject row;
+    row.put("size_bytes", bytes).put("baseline_ns", base);
     rt.set_mode(fatomic::weave::Mode::Mask);
     for (const Ratio& r : ratios) {
       const double ns = median_ns(p, kCalls, r.wrap_every, kReps);
       worst = std::max(worst, ns);
       std::cout << '\t' << static_cast<long>(ns);
+      row.put(std::string("ns_at_") + r.label, ns);
     }
     std::cout << '\t' << worst / base << "x\n";
+    rows.add_raw(row.put("overhead_factor", worst / base).dump());
     rt.set_mode(fatomic::weave::Mode::Direct);
   }
   rt.set_wrap_predicate(nullptr);
   std::cout << "(overhead grows with checkpoint size and wrapped-call "
                "percentage, as in the paper)\n\n";
+  return rows.dump();
 }
 
 // ---- ablation microbenches ------------------------------------------------------
@@ -187,7 +196,9 @@ BENCHMARK(BM_InjectionWrapperCost)->Arg(64)->Arg(4096);
 }  // namespace
 
 int main(int argc, char** argv) {
-  figure5();
+  const std::string rows = figure5();
+  bench_common::write_bench_json(
+      "fig5", bench_common::JsonObject{}.put_raw("rows", rows).dump());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "fatomic/detect/classify.hpp"
 #include "fatomic/detect/experiment.hpp"
 #include "fatomic/report/json.hpp"
@@ -49,6 +50,7 @@ int main() {
 
   double seq_total = 0, par_total = 0;
   bool all_identical = true;
+  bench_common::JsonArray rows;
   for (const std::string& name : names) {
     const auto& app = subjects::apps::app(name);
     detect::Campaign seq, par;
@@ -68,6 +70,13 @@ int main() {
     par_total += par_ms;
     std::printf("%-16s %10.1f %10.1f %7.2fx %6s\n", app.name.c_str(), seq_ms,
                 par_ms, seq_ms / par_ms, identical ? "yes" : "NO");
+    rows.add_raw(bench_common::JsonObject{}
+                     .put("app", app.name)
+                     .put("seq_ms", seq_ms)
+                     .put("par_ms", par_ms)
+                     .put("speedup", seq_ms / par_ms)
+                     .put("identical", identical)
+                     .dump());
   }
   std::printf("%-16s %10.1f %10.1f %7.2fx %6s\n", "TOTAL", seq_total,
               par_total, seq_total / par_total, all_identical ? "yes" : "NO");
@@ -75,5 +84,15 @@ int main() {
     std::printf("note: only %u hardware thread(s); speedup is bounded by the "
                 "machine, not the sharding\n",
                 hw);
+  bench_common::write_bench_json(
+      "parallel", bench_common::JsonObject{}
+                      .put("jobs", jobs)
+                      .put("hardware_threads", hw)
+                      .put_raw("apps", rows.dump())
+                      .put("seq_total_ms", seq_total)
+                      .put("par_total_ms", par_total)
+                      .put("speedup", seq_total / par_total)
+                      .put("all_identical", all_identical)
+                      .dump());
   return all_identical ? 0 : 1;
 }

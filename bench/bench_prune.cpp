@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "fatomic/analyze/static_report.hpp"
 #include "subjects/apps/apps.hpp"
 
@@ -42,6 +43,7 @@ int main() {
   };
 
   bool ok = true;
+  bench_common::JsonArray rows;
   for (const auto& w : workloads) {
     const analyze::CrossCheck cc = analyze::cross_check(w.program, prune);
     const double total = static_cast<double>(cc.full.runs.size());
@@ -59,6 +61,21 @@ int main() {
       std::printf("  below the %.0f%% saving floor\n", w.min_saved_pct);
       ok = false;
     }
+    rows.add_raw(bench_common::JsonObject{}
+                     .put("workload", w.name)
+                     .put("full_runs", cc.full.runs.size())
+                     .put("runs_saved", cc.runs_saved)
+                     .put("saved_pct", saved_pct)
+                     .put("identical", cc.identical)
+                     .dump());
   }
+  bench_common::write_bench_json(
+      "prune", bench_common::JsonObject{}
+                   .put("methods_proven", report.proven_count())
+                   .put("methods_total", report.method_count())
+                   .put("prune_set", prune.size())
+                   .put_raw("workloads", rows.dump())
+                   .put("ok", ok)
+                   .dump());
   return ok ? 0 : 1;
 }

@@ -8,5 +8,9 @@ int main() {
   auto apps = bench_common::run_all();
   std::cout << fatomic::report::table1(apps) << '\n';
   std::cout << "CSV:\n" << fatomic::report::to_csv(apps);
+  bench_common::write_bench_json(
+      "table1", bench_common::JsonObject{}
+                    .put_raw("apps", bench_common::app_results_json(apps))
+                    .dump());
   return 0;
 }

@@ -86,10 +86,15 @@ bool tracked(Kind k) {
 /// its last — statically, any iteration's throw may follow any iteration's
 /// mutation.
 struct Event {
-  std::size_t pos;
+  std::size_t pos = 0;
   bool mut = false;
   bool thr = false;
   bool via_param = false;  ///< mutation reaches the caller through a param
+  /// Member names a mutation event may write.  Empty plus `target_unknown`
+  /// means the write lands somewhere unresolvable — Pass 3 collapses the
+  /// enclosing method's write set to ⊤.
+  std::vector<std::string> targets;
+  bool target_unknown = false;
 };
 
 struct Ctx {
@@ -232,6 +237,9 @@ class BodyScan {
     /// a member call (`children` in `root_->children.push_back`).  Empty
     /// when the chain ends in a call or index result.
     std::string recv_name;
+    /// recv_name itself is dereferenced (`*p = v` writes p's pointee, not a
+    /// member named "p") — the name must not be used as a write target.
+    bool recv_starred = false;
   };
 
   /// Resolves the postfix chain ending just before token `end` (an
@@ -247,6 +255,7 @@ class BodyScan {
       const std::string& t = tk(static_cast<std::size_t>(j));
       if (is_ident(t) && !keywords().count(t) && !is_number(t) && first) {
         c.recv_name = t;
+        c.recv_starred = j > 0 && tk(static_cast<std::size_t>(j) - 1) == "*";
         first = false;
       } else if (t != "." && t != "::") {
         first = false;
@@ -292,8 +301,12 @@ class BodyScan {
   Chain chain_after(std::size_t b) const {
     Chain c;
     std::size_t k = b;
+    bool leading_star = false;
     while (k < body_.size() && (tk(k) == "*" || tk(k) == "(")) {
-      if (tk(k) == "*") c.deref = true;
+      if (tk(k) == "*") {
+        c.deref = true;
+        leading_star = true;
+      }
       ++k;
     }
     std::string base;
@@ -301,28 +314,45 @@ class BodyScan {
       const std::string& t = tk(k);
       if (is_ident(t) && !keywords().count(t) && !is_number(t)) {
         if (base.empty()) base = t;
+        c.recv_name = t;  // last identifier wins: the written member
         ++k;
         continue;
       }
       if (t == "." || t == "::") {
+        if (t == ".") leading_star = false;  // star applied to an earlier link
         ++k;
         continue;
       }
       if (t == "->") {
         c.deref = true;
+        leading_star = false;
         ++k;
         continue;
       }
       break;
     }
     if (!base.empty()) c.base = classify(base);
+    c.recv_starred = leading_star;
     return c;
   }
 
   void compute_loops();
-  void emit(std::size_t pos, bool mut, bool thr, bool via_param);
-  void emit_mut(std::size_t pos, Kind base) {
-    emit(pos, true, false, base == Kind::TrackedParam);
+  void emit(std::size_t pos, bool mut, bool thr, bool via_param,
+            std::vector<std::string> targets = {}, bool target_unknown = true);
+  /// Mutation with at most one named target; `target_valid` is false when
+  /// the name does not denote the written member (starred/empty chains).
+  void emit_mut(std::size_t pos, Kind base, const std::string& target = "",
+                bool target_valid = false) {
+    const bool named = target_valid && !target.empty();
+    emit(pos, true, false, base == Kind::TrackedParam,
+         named ? std::vector<std::string>{target} : std::vector<std::string>{},
+         !named);
+  }
+  /// Mutation whose targets come from a callee summary's write-name set.
+  void emit_mut_set(std::size_t pos, Kind base,
+                    const std::set<std::string>& names, bool unknown) {
+    emit(pos, true, false, base == Kind::TrackedParam,
+         std::vector<std::string>(names.begin(), names.end()), unknown);
   }
 
   const FnSummary* lookup_key(const std::string& key) const {
@@ -410,18 +440,25 @@ void BodyScan::compute_loops() {
   }
 }
 
-void BodyScan::emit(std::size_t pos, bool mut, bool thr, bool via_param) {
+void BodyScan::emit(std::size_t pos, bool mut, bool thr, bool via_param,
+                    std::vector<std::string> targets, bool target_unknown) {
   if (mut) {
-    const std::size_t p =
-        pos < loop_start_.size() && loop_start_[pos] != npos ? loop_start_[pos]
-                                                            : pos;
-    events.push_back({p, true, false, via_param});
+    Event ev;
+    ev.pos = pos < loop_start_.size() && loop_start_[pos] != npos
+                 ? loop_start_[pos]
+                 : pos;
+    ev.mut = true;
+    ev.via_param = via_param;
+    ev.targets = std::move(targets);
+    ev.target_unknown = target_unknown;
+    events.push_back(std::move(ev));
   }
   if (thr) {
-    const std::size_t p =
-        pos < loop_end_.size() && loop_end_[pos] != npos ? loop_end_[pos]
-                                                         : pos;
-    events.push_back({p, false, true, false});
+    Event ev;
+    ev.pos =
+        pos < loop_end_.size() && loop_end_[pos] != npos ? loop_end_[pos] : pos;
+    ev.thr = true;
+    events.push_back(std::move(ev));
   }
 }
 
@@ -455,8 +492,10 @@ void BodyScan::handle_call(std::size_t i) {
       return;
     }
     if (const FnSummary* s = lookup_name(name)) {
-      if (s->mutates_env) emit_mut(i, Kind::Env);
-      if (s->mutates_params && args_tracked) emit_mut(i, arg_kind);
+      if (s->mutates_env)
+        emit_mut_set(i, Kind::Env, s->writes, s->writes_unknown);
+      if (s->mutates_params && args_tracked)
+        emit_mut_set(i, arg_kind, s->param_writes, s->param_writes_unknown);
       emit(i, false, s->may_throw, false);
       return;
     }
@@ -479,8 +518,10 @@ void BodyScan::handle_call(std::size_t i) {
         // The receiver is a field of known non-subject type (`head_` is a
         // unique_ptr, not a Regexp), so this cannot be the instrumented
         // method of the same name — and a name-based summary lookup would
-        // mis-resolve to it.  Library treatment: mutation only.
-        if (recv_tracked) emit_mut(i, recv_kind);
+        // mis-resolve to it.  Library treatment: mutation only.  The write
+        // lands inside the named member (`head_.reset()` rewrites head_).
+        if (recv_tracked)
+          emit_mut(i, recv_kind, recv.recv_name, !recv.recv_starred);
         return;
       }
       // Potential injection point no matter the receiver type; mutation
@@ -488,13 +529,15 @@ void BodyScan::handle_call(std::size_t i) {
       // caller-visible.
       const FnSummary* s = lookup_name(name);
       if (recv_tracked && s != nullptr && s->mutates_env)
-        emit_mut(i, recv_kind);
+        emit_mut_set(i, recv_kind, s->writes, s->writes_unknown);
       emit(i, false, true, false);
       return;
     }
     if (const FnSummary* s = lookup_name(name)) {
-      if (s->mutates_env && recv_tracked) emit_mut(i, recv_kind);
-      if (s->mutates_params && args_tracked) emit_mut(i, arg_kind);
+      if (s->mutates_env && recv_tracked)
+        emit_mut_set(i, recv_kind, s->writes, s->writes_unknown);
+      if (s->mutates_params && args_tracked)
+        emit_mut_set(i, arg_kind, s->param_writes, s->param_writes_unknown);
       emit(i, false, s->may_throw, false);
       return;
     }
@@ -502,17 +545,20 @@ void BodyScan::handle_call(std::size_t i) {
         ctx_.model->clean_const_names.count(name))
       return;
     // Unknown library member call: mutation when the receiver is tracked,
-    // no injection point inside.
-    if (recv_tracked) emit_mut(i, recv_kind);
+    // no injection point inside.  The mutation stays within the receiver
+    // chain's final member (`root_->children.push_back(x)` writes children).
+    if (recv_tracked)
+      emit_mut(i, recv_kind, recv.recv_name, !recv.recv_starred);
     return;
   }
 
   // Unqualified call: a sibling/self call or a free function.
   if (ctx_.model->instrumented_names.count(name)) {
     const FnSummary* s = lookup_name(name);
-    if (s != nullptr && s->mutates_env) emit_mut(i, Kind::Env);
+    if (s != nullptr && s->mutates_env)
+      emit_mut_set(i, Kind::Env, s->writes, s->writes_unknown);
     if (s != nullptr && s->mutates_params && args_tracked)
-      emit_mut(i, arg_kind);
+      emit_mut_set(i, arg_kind, s->param_writes, s->param_writes_unknown);
     emit(i, false, true, false);
     return;
   }
@@ -521,8 +567,10 @@ void BodyScan::handle_call(std::size_t i) {
   if (s == nullptr) s = lookup_key(name);
   if (s == nullptr) s = lookup_name(name);
   if (s != nullptr) {
-    if (s->mutates_env) emit_mut(i, Kind::Env);
-    if (s->mutates_params && args_tracked) emit_mut(i, arg_kind);
+    if (s->mutates_env)
+      emit_mut_set(i, Kind::Env, s->writes, s->writes_unknown);
+    if (s->mutates_params && args_tracked)
+      emit_mut_set(i, arg_kind, s->param_writes, s->param_writes_unknown);
     emit(i, false, s->may_throw, false);
     return;
   }
@@ -674,7 +722,10 @@ void BodyScan::run() {
       const Chain c = chain_after(i + 1 < body_.size() && tk(i + 1) == "["
                                       ? i + 3
                                       : i + 1);
-      if (tracked(c.base)) emit_mut(i, c.base);
+      // The named pointer's graph is destroyed — a structural write to the
+      // member holding it (its pointer type keeps it out of partial plans).
+      if (tracked(c.base))
+        emit_mut(i, c.base, c.recv_name, !c.recv_starred);
       ++i;
       continue;
     }
@@ -697,9 +748,10 @@ void BodyScan::run() {
         t == ">>=") {
       const Chain c = chain_before(i);
       if (c.deref) {
-        if (tracked(c.base)) emit_mut(i, c.base);
+        if (tracked(c.base))
+          emit_mut(i, c.base, c.recv_name, !c.recv_starred);
       } else if (c.base == Kind::Env || c.base == Kind::TrackedParam) {
-        emit_mut(i, c.base);
+        emit_mut(i, c.base, c.recv_name, !c.recv_starred);
       } else if (t == "=" &&
                  (c.base == Kind::Fresh || c.base == Kind::TrackedLocal)) {
         // Reassigning a local pointer: its freshness follows the new value.
@@ -721,8 +773,9 @@ void BodyScan::run() {
                           : chain_before(i);
       if (c.deref ? tracked(c.base)
                   : (c.base == Kind::Env || c.base == Kind::TrackedParam))
-        emit_mut(i, c.base == Kind::TrackedParam ? Kind::TrackedParam
-                                                 : Kind::Env);
+        emit_mut(i,
+                 c.base == Kind::TrackedParam ? Kind::TrackedParam : Kind::Env,
+                 c.recv_name, !c.recv_starred);
       ++i;
       continue;
     }
@@ -732,7 +785,7 @@ void BodyScan::run() {
       const Chain c = chain_before(i);
       if (c.base == Kind::Env || c.base == Kind::TrackedParam ||
           c.base == Kind::TrackedLocal)
-        emit_mut(i, c.base);
+        emit_mut(i, c.base, c.recv_name, !c.recv_starred);
       ++i;
       continue;
     }
@@ -817,20 +870,38 @@ EffectAnalysis analyze_effects(const SourceModel& model) {
       scan.run();
       FnSummary next;
       for (const Event& ev : scan.events) {
-        if (ev.mut && ev.via_param) next.mutates_params = true;
-        if (ev.mut && !ev.via_param) next.mutates_env = true;
+        if (ev.mut && ev.via_param) {
+          next.mutates_params = true;
+          if (ev.target_unknown) next.param_writes_unknown = true;
+          next.param_writes.insert(ev.targets.begin(), ev.targets.end());
+        }
+        if (ev.mut && !ev.via_param) {
+          next.mutates_env = true;
+          if (ev.target_unknown) next.writes_unknown = true;
+          next.writes.insert(ev.targets.begin(), ev.targets.end());
+        }
         if (ev.thr) next.may_throw = true;
       }
       next.may_throw |= s.instrumented;  // injection point at wrapper entry
       next.catches = scan.catches;
       FnSummary& cur = by_key[s.key];
-      FnSummary merged{cur.mutates_env || next.mutates_env,
-                       cur.mutates_params || next.mutates_params,
-                       cur.may_throw || next.may_throw,
-                       cur.catches || next.catches};
+      FnSummary merged = cur;
+      merged.mutates_env |= next.mutates_env;
+      merged.mutates_params |= next.mutates_params;
+      merged.may_throw |= next.may_throw;
+      merged.catches |= next.catches;
+      merged.writes_unknown |= next.writes_unknown;
+      merged.param_writes_unknown |= next.param_writes_unknown;
+      merged.writes.insert(next.writes.begin(), next.writes.end());
+      merged.param_writes.insert(next.param_writes.begin(),
+                                 next.param_writes.end());
       if (merged.mutates_env != cur.mutates_env ||
           merged.mutates_params != cur.mutates_params ||
-          merged.may_throw != cur.may_throw || merged.catches != cur.catches)
+          merged.may_throw != cur.may_throw ||
+          merged.catches != cur.catches ||
+          merged.writes_unknown != cur.writes_unknown ||
+          merged.param_writes_unknown != cur.param_writes_unknown ||
+          merged.writes != cur.writes || merged.param_writes != cur.param_writes)
         changed = true;
       cur = merged;
     }
@@ -842,6 +913,11 @@ EffectAnalysis analyze_effects(const SourceModel& model) {
       dst.mutates_params |= src.mutates_params;
       dst.may_throw |= src.may_throw;
       dst.catches |= src.catches;
+      dst.writes_unknown |= src.writes_unknown;
+      dst.param_writes_unknown |= src.param_writes_unknown;
+      dst.writes.insert(src.writes.begin(), src.writes.end());
+      dst.param_writes.insert(src.param_writes.begin(),
+                              src.param_writes.end());
     }
     if (!changed) break;
   }
@@ -878,6 +954,34 @@ EffectAnalysis analyze_effects(const SourceModel& model) {
         es.read_only = es.mutation_events == 0;
         es.commit_point_last = es.mutation_events == 0 ||
                                es.throw_events == 0 || last_thr < first_mut;
+        // Pre-injection write set (Pass 3 input): a mutation needs rolling
+        // back only when some injection point can still fire at or after it
+        // (pos <= last_thr; equality covers a single call that both mutates
+        // and throws).
+        if (es.throw_events > 0) {
+          for (const Event& ev : scan.events) {
+            if (!ev.mut || ev.pos > last_thr) continue;
+            if (ev.via_param) {
+              es.write_top = true;
+              if (es.write_top_reason.empty())
+                es.write_top_reason = "parameter-aliased write";
+            } else if (ev.target_unknown) {
+              es.write_top = true;
+              if (es.write_top_reason.empty())
+                es.write_top_reason = "unresolved write target";
+            } else {
+              es.write_names.insert(ev.targets.begin(), ev.targets.end());
+            }
+          }
+        }
+        // A receiver escaping via `this` can be written through aliases the
+        // event scan never sees.
+        for (const Token& tok : s.body) {
+          if (tok.text != "this") continue;
+          es.write_top = true;
+          es.write_top_reason = "receiver escapes via this";
+          break;
+        }
         break;
       }
       out.methods[es.qualified_name] = std::move(es);

@@ -46,6 +46,16 @@ struct FnSummary {
   bool mutates_params = false;
   bool may_throw = false;
   bool catches = false;
+  /// Member names the environment mutations may write (Pass 3 input).
+  /// Member names live in one global namespace — conflicting declarations
+  /// merged by `SourceModel::declared_types` keep this sound.  When any
+  /// environment write has no resolvable member name, `writes_unknown` is
+  /// set and callers must collapse to ⊤.
+  std::set<std::string> writes;
+  bool writes_unknown = false;
+  /// Same, for mutations through non-const parameters.
+  std::set<std::string> param_writes;
+  bool param_writes_unknown = false;
 };
 
 /// The static verdict for one instrumented method.
@@ -64,6 +74,15 @@ struct EffectSummary {
   bool catches = false;
   std::size_t mutation_events = 0;
   std::size_t throw_events = 0;
+  /// Member names this method may write *before* its last possible
+  /// injection point (mutations strictly after the last throw event can
+  /// never need rolling back).  Meaningful only when !write_top.
+  std::set<std::string> write_names;
+  /// The pre-injection write set could not be bounded (unresolved target,
+  /// parameter-aliased write, receiver escaping via `this`): Pass 3 must
+  /// fall back to a full checkpoint for this method.
+  bool write_top = false;
+  std::string write_top_reason;
 
   /// Statically proven failure atomic under the injector's fault model.
   bool proven_atomic() const {

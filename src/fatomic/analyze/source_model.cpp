@@ -170,18 +170,35 @@ void harvest_macros(const Tokens& t, SourceModel& model) {
     const bool stat = m == "FAT_STATIC_INFO";
     const bool ctor = m == "FAT_CTOR_INFO";
     const bool reflect = m == "FAT_REFLECT";
-    if (!(method || stat || ctor || reflect) || t[i + 1].text != "(") continue;
+    const bool poly = m == "FAT_POLY";
+    if (!(method || stat || ctor || reflect || poly) || t[i + 1].text != "(")
+      continue;
     const std::size_t close = match_forward(t, i + 1, "(", ")");
     if (close >= t.size()) continue;
     std::size_t k = i + 2;
     const std::string cls = read_qualified(t, k);
     if (cls.empty()) continue;
+    if (poly) {
+      // FAT_POLY(Base, Derived): both ends are polymorphic types.
+      auto simple = [](const std::string& q) {
+        const auto pos = q.rfind("::");
+        return pos == std::string::npos ? q : q.substr(pos + 2);
+      };
+      model.poly_classes.insert(simple(cls));
+      if (k < close && t[k].text == ",") {
+        ++k;
+        const std::string derived = read_qualified(t, k);
+        if (!derived.empty()) model.poly_classes.insert(simple(derived));
+      }
+      i = close;
+      continue;
+    }
     ClassModel& cm = model.classes[cls];
     cm.qualified_name = cls;
     if (reflect) {
       for (; k < close; ++k) {
-        if (t[k].text != "FAT_FIELD") continue;
-        // FAT_FIELD(Class, field)
+        if (t[k].text != "FAT_FIELD" && t[k].text != "FAT_OWNED") continue;
+        // FAT_FIELD(Class, field) / FAT_OWNED(Class, field)
         std::size_t f = k + 2;
         (void)read_qualified(t, f);  // class
         if (f < close && t[f].text == ",") {
@@ -256,10 +273,52 @@ void harvest_clean_const(const Tokens& t, SourceModel& model) {
 /// forward declarations — a name is a name).
 void harvest_class_names(const Tokens& t, SourceModel& model) {
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text == "enum") {
+      // `enum X` / `enum class X` / `enum struct X`.
+      std::size_t k = i + 1;
+      if (k < t.size() &&
+          (t[k].text == "class" || t[k].text == "struct"))
+        ++k;
+      if (k < t.size() && is_ident(t[k].text) && !keywords().count(t[k].text))
+        model.enum_names.insert(t[k].text);
+      continue;
+    }
     if (t[i].text != "class" && t[i].text != "struct") continue;
     if (i > 0 && t[i - 1].text == "enum") continue;
-    if (is_ident(t[i + 1].text) && !keywords().count(t[i + 1].text))
-      model.class_names.insert(t[i + 1].text);
+    if (!is_ident(t[i + 1].text) || keywords().count(t[i + 1].text)) continue;
+    const std::string& cls = t[i + 1].text;
+    model.class_names.insert(cls);
+    // Base-clause harvest: `class X [final] : [virtual|access] Base, ...`.
+    // Bases may be qualified; only the simple (last) component is recorded.
+    std::size_t k = i + 2;
+    if (k < t.size() && t[k].text == "final") ++k;
+    if (k >= t.size() || t[k].text != ":") continue;
+    ++k;
+    while (k < t.size()) {
+      while (k < t.size() &&
+             (t[k].text == "public" || t[k].text == "protected" ||
+              t[k].text == "private" || t[k].text == "virtual"))
+        ++k;
+      std::string base, last;
+      while (k < t.size() && (is_ident(t[k].text) || t[k].text == "::")) {
+        if (is_ident(t[k].text)) last = t[k].text;
+        base += t[k].text;
+        ++k;
+      }
+      if (!last.empty() && !keywords().count(last))
+        model.bases[cls].insert(last);
+      // Skip template arguments of the base, if any.
+      if (k < t.size() && t[k].text == "<") {
+        int angle = 0;
+        for (; k < t.size(); ++k) {
+          if (t[k].text == "<") ++angle;
+          else if (t[k].text == ">" && --angle == 0) { ++k; break; }
+          else if (t[k].text == ">>" && (angle -= 2) <= 0) { ++k; break; }
+        }
+      }
+      if (k < t.size() && t[k].text == ",") { ++k; continue; }
+      break;
+    }
   }
 }
 

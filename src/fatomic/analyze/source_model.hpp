@@ -96,6 +96,18 @@ struct SourceModel {
   /// the scanned tree — lets the effect pass recognize `Parser(src)` as a
   /// temporary-constructing expression rather than an unknown call result.
   std::set<std::string> class_names;
+  /// Simple names of every enum/enum class declared in the scanned tree.
+  /// Enums are value types: a field of enum type cannot hold subobjects, so
+  /// the write-set pass treats them like builtins instead of opening the
+  /// receiver graph.
+  std::set<std::string> enum_names;
+  /// Inheritance edges by simple name: derived -> declared base names.  Any
+  /// class that appears as a base (or registers with FAT_POLY) may be the
+  /// static type of a polymorphic pointee, which the partial-checkpoint
+  /// walker refuses to traverse.
+  std::map<std::string, std::set<std::string>> bases;
+  /// Classes registered with FAT_POLY (either side) — known-polymorphic.
+  std::set<std::string> poly_classes;
   /// Files scanned, relative to the scan root.
   std::vector<std::string> files;
 

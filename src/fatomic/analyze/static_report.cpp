@@ -45,6 +45,7 @@ StaticReport analyze_sources(const std::string& root) {
   StaticReport report;
   report.model = scan_sources(root);
   report.effects = analyze_effects(report.model);
+  report.write_sets = analyze_write_sets(report.model, report.effects);
   return report;
 }
 

@@ -11,6 +11,7 @@
 
 #include "fatomic/analyze/effects.hpp"
 #include "fatomic/analyze/source_model.hpp"
+#include "fatomic/analyze/write_sets.hpp"
 #include "fatomic/detect/classify.hpp"
 #include "fatomic/detect/experiment.hpp"
 
@@ -19,6 +20,7 @@ namespace fatomic::analyze {
 struct StaticReport {
   SourceModel model;
   EffectAnalysis effects;
+  WriteSetAnalysis write_sets;
 
   /// Qualified names safe to feed detect::Options::prune_atomic: statically
   /// proven failure atomic, with a receiver (statics have no state to

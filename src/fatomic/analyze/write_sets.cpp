@@ -1,0 +1,255 @@
+#include "fatomic/analyze/write_sets.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace fatomic::analyze {
+
+namespace {
+
+bool is_ident(const std::string& t) {
+  return !t.empty() && (std::isalpha(static_cast<unsigned char>(t[0])) ||
+                        t[0] == '_');
+}
+
+std::string simple_of(const std::string& qualified) {
+  const auto pos = qualified.rfind("::");
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Declared-type tokens that keep a member value-like.  Everything else —
+/// pointers, references, templates, class names — rejects the member as a
+/// capture target.
+bool value_like_token(const std::string& tok,
+                      const std::set<std::string>& enum_names) {
+  static const std::set<std::string> allowed = {
+      "std",     "::",      "|",        "const",    "string",   "size_t",
+      "int",     "bool",    "char",     "unsigned", "signed",   "long",
+      "short",   "float",   "double",   "int8_t",   "int16_t",  "int32_t",
+      "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t", "ptrdiff_t",
+      "wchar_t", "char16_t", "char32_t",
+  };
+  return allowed.count(tok) > 0 || enum_names.count(tok) > 0;
+}
+
+/// What a subtree may contain: member names, plus whether it escapes the
+/// reflected world (open) or can hold a polymorphic object (poly).
+struct Reach {
+  std::set<std::string> names;
+  bool open = false;
+  bool poly = false;
+
+  void merge(const Reach& o) {
+    names.insert(o.names.begin(), o.names.end());
+    open |= o.open;
+    poly |= o.poly;
+  }
+  bool operator==(const Reach& o) const {
+    return open == o.open && poly == o.poly && names == o.names;
+  }
+};
+
+}  // namespace
+
+std::size_t WriteSetAnalysis::partial_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, w] : methods)
+    if (w.plan.partial) ++n;
+  return n;
+}
+
+std::string WriteSetAnalysis::to_text() const {
+  std::ostringstream os;
+  os << "write-set analysis: " << partial_count() << " of " << methods.size()
+     << " methods get a partial checkpoint plan\n";
+  for (const auto& [name, w] : methods) {
+    os << "  " << name << ": ";
+    if (w.top) {
+      os << "full (" << w.top_reason << ")";
+    } else {
+      os << snapshot::to_string(w.plan);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+WriteSetAnalysis analyze_write_sets(const SourceModel& model,
+                                    const EffectAnalysis& effects) {
+  // Polymorphic closure over simple names: FAT_POLY participants, every
+  // class used as a base, and transitively everything deriving from those.
+  std::set<std::string> poly = model.poly_classes;
+  for (const auto& [derived, bs] : model.bases)
+    poly.insert(bs.begin(), bs.end());
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& [derived, bs] : model.bases) {
+      if (poly.count(derived)) continue;
+      for (const auto& b : bs) {
+        if (!poly.count(b)) continue;
+        poly.insert(derived);
+        grew = true;
+        break;
+      }
+    }
+  }
+
+  // Reflected classes by simple name; same-name collisions merge
+  // conservatively (the walker prunes by name, so the union is sound).
+  std::map<std::string, std::vector<const ClassModel*>> by_simple;
+  for (const auto& [qualified, cm] : model.classes)
+    if (!cm.fields.empty()) by_simple[simple_of(qualified)].push_back(&cm);
+
+  // Per-class reach fixpoint, mutually recursive with per-member reach
+  // (member types name classes; class reach unions member reaches).
+  std::map<std::string, Reach> class_reach;  // by qualified name
+  for (const auto& [qualified, cm] : model.classes) {
+    Reach r;
+    r.names = cm.fields;
+    r.open = cm.fields.empty();  // instrumented but not reflected
+    r.poly = poly.count(simple_of(qualified)) > 0;
+    class_reach[qualified] = r;
+  }
+
+  auto member_reach = [&](const std::string& name) {
+    Reach r;
+    auto it = model.declared_types.find(name);
+    if (it == model.declared_types.end()) {
+      r.open = true;  // never saw a declaration: unknown contents
+      return r;
+    }
+    for (const std::string& tok : split_ws(it->second)) {
+      if (!is_ident(tok)) continue;
+      if (model.enum_names.count(tok)) continue;  // value type
+      auto bs = by_simple.find(tok);
+      if (bs != by_simple.end()) {
+        for (const ClassModel* cm : bs->second)
+          r.merge(class_reach[cm->qualified_name]);
+        if (poly.count(tok)) r.poly = true;
+      } else if (model.class_names.count(tok)) {
+        // A scanned class with no reflected fields: its contents are
+        // invisible to the walker.
+        r.open = true;
+        if (poly.count(tok)) r.poly = true;
+      }
+    }
+    return r;
+  };
+
+  for (int round = 0; round < 30; ++round) {
+    bool changed = false;
+    for (const auto& [qualified, cm] : model.classes) {
+      if (cm.fields.empty()) continue;
+      Reach next;
+      next.names = cm.fields;
+      next.poly = poly.count(simple_of(qualified)) > 0;
+      for (const std::string& f : cm.fields) next.merge(member_reach(f));
+      // Reflected bases contribute their subtrees (a derived object holds
+      // the base's fields too).
+      auto bit = model.bases.find(simple_of(qualified));
+      if (bit != model.bases.end()) {
+        for (const std::string& b : bit->second) {
+          auto bs = by_simple.find(b);
+          if (bs == by_simple.end()) continue;
+          for (const ClassModel* bm : bs->second)
+            next.merge(class_reach[bm->qualified_name]);
+        }
+      }
+      Reach& cur = class_reach[qualified];
+      if (!(next == cur)) {
+        cur = next;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Per-method plan derivation.
+  WriteSetAnalysis out;
+  for (const auto& [qualified, es] : effects.methods) {
+    MethodWriteSet w;
+    w.qualified_name = qualified;
+    auto top = [&](const std::string& reason) {
+      w.top = true;
+      w.top_reason = reason;
+    };
+
+    if (!es.scanned) {
+      top("unscanned");
+    } else if (es.is_static) {
+      top("static method (no receiver checkpoint)");
+    } else if (es.catches) {
+      top("catches exceptions (mutations inside handlers are unmodelled)");
+    } else if (es.write_top) {
+      top(es.write_top_reason.empty() ? "unbounded write set"
+                                      : es.write_top_reason);
+    } else {
+      w.names = es.write_names;
+      const ClassModel* cm = model.find_class(es.class_name);
+      if (cm == nullptr || cm->fields.empty())
+        top("receiver class not reflected");
+      else if (poly.count(simple_of(es.class_name)))
+        top("polymorphic receiver");
+      for (const std::string& n : w.names) {
+        if (w.top) break;
+        auto it = model.declared_types.find(n);
+        bool ok = it != model.declared_types.end();
+        if (ok)
+          for (const std::string& tok : split_ws(it->second))
+            if (!value_like_token(tok, model.enum_names)) {
+              ok = false;
+              break;
+            }
+        if (!ok) top("non-value-like write target: " + n);
+      }
+      if (!w.top) {
+        // Prune: any name in the receiver closure whose own reach is
+        // closed, monomorphic, and disjoint from the capture set.
+        const Reach& recv = class_reach[cm->qualified_name];
+        std::set<std::string> candidates = recv.names;
+        candidates.insert(cm->fields.begin(), cm->fields.end());
+        for (const std::string& n : candidates) {
+          if (w.names.count(n)) continue;
+          const Reach mr = member_reach(n);
+          if (mr.open || mr.poly) continue;
+          bool hits = false;
+          for (const std::string& c : w.names)
+            if (mr.names.count(c)) {
+              hits = true;
+              break;
+            }
+          if (!hits) w.plan.prune.insert(n);
+        }
+        // Walk-set check: every subtree the walk will enter must stay
+        // within reflected, monomorphic classes.
+        for (const std::string& f : cm->fields) {
+          if (w.top) break;
+          if (w.plan.prune.count(f) || w.names.count(f)) continue;
+          const Reach mr = member_reach(f);
+          if (mr.open) top("unreflected subtree at field " + f);
+          else if (mr.poly) top("polymorphic subtree at field " + f);
+        }
+      }
+      if (!w.top) {
+        w.plan.partial = true;
+        w.plan.capture = w.names;
+      } else {
+        w.plan = snapshot::CheckpointPlan{};
+      }
+    }
+    out.methods.emplace(qualified, std::move(w));
+  }
+  return out;
+}
+
+}  // namespace fatomic::analyze

@@ -1,0 +1,64 @@
+// Pass 3 of the static analyzer: interprocedural write sets and the
+// checkpoint plans they justify.
+//
+// For every instrumented method the effect pass (Pass 1) already records
+// which member names its pre-injection mutations may write, folding helper
+// and sibling summaries in through the same fixpoint that drives the
+// atomicity prover.  This pass turns those name sets into per-method
+// snapshot::CheckpointPlans for the atomicity wrapper (DESIGN.md §8):
+//
+//   capture — the write-set names, admitted only when every scanned
+//             declaration of the name has a value-like type (builtins,
+//             std::string, enums): the method can only overwrite primitive
+//             leaves, never change the receiver graph's shape;
+//   prune   — member names whose reachable subtrees provably cannot contain
+//             any capture name, so the checkpoint walk may skip them.
+//
+// Anything outside that argument collapses to ⊤ (full checkpoint): unknown
+// or parameter-aliased write targets, receivers escaping via `this`, catch
+// clauses, non-value-like capture types, unreflected or polymorphic classes
+// anywhere in the receiver's walk set.  ⊤ is always sound — it reproduces
+// the paper's whole-graph deep copy.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+
+#include "fatomic/analyze/effects.hpp"
+#include "fatomic/analyze/source_model.hpp"
+#include "fatomic/snapshot/partial.hpp"
+
+namespace fatomic::analyze {
+
+/// The write-set verdict for one instrumented method.
+struct MethodWriteSet {
+  std::string qualified_name;
+  /// ⊤: the write set could not be bounded; plan stays full.
+  bool top = false;
+  /// First rule that collapsed the set (diagnostics / report output).
+  std::string top_reason;
+  /// Pre-injection write names (meaningful only when !top).
+  std::set<std::string> names;
+  /// The derived checkpoint plan (partial iff !top).
+  snapshot::CheckpointPlan plan;
+};
+
+struct WriteSetAnalysis {
+  /// One entry per instrumented method, keyed by qualified name.
+  std::map<std::string, MethodWriteSet> methods;
+
+  const MethodWriteSet* find(const std::string& qualified_name) const {
+    auto it = methods.find(qualified_name);
+    return it == methods.end() ? nullptr : &it->second;
+  }
+  std::size_t partial_count() const;
+  std::string to_text() const;
+};
+
+/// Runs Pass 3 over the scanned model and the effect results.
+WriteSetAnalysis analyze_write_sets(const SourceModel& model,
+                                    const EffectAnalysis& effects);
+
+}  // namespace fatomic::analyze

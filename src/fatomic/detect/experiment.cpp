@@ -40,6 +40,31 @@ class ScopedWrap {
   weave::Runtime::WrapPredicate saved_;
 };
 
+/// RAII: installs checkpoint plans and the validator flag for the campaign,
+/// restoring the runtime's previous plan state after.  Workers inherit both
+/// through adopt_config().
+class ScopedPlans {
+ public:
+  ScopedPlans(std::shared_ptr<const weave::PlanMap> plans, bool validate)
+      : saved_plans_(weave::Runtime::instance().checkpoint_plans()),
+        saved_validate_(weave::Runtime::instance().validate_checkpoints) {
+    auto& rt = weave::Runtime::instance();
+    if (plans) rt.set_checkpoint_plans(std::move(plans));
+    if (validate) rt.validate_checkpoints = true;
+  }
+  ~ScopedPlans() {
+    auto& rt = weave::Runtime::instance();
+    rt.set_checkpoint_plans(std::move(saved_plans_));
+    rt.validate_checkpoints = saved_validate_;
+  }
+  ScopedPlans(const ScopedPlans&) = delete;
+  ScopedPlans& operator=(const ScopedPlans&) = delete;
+
+ private:
+  std::shared_ptr<const weave::PlanMap> saved_plans_;
+  bool saved_validate_;
+};
+
 /// One injector run and everything the campaign needs from it.
 struct RunOutcome {
   RunRecord rec;
@@ -158,6 +183,8 @@ Campaign Experiment::run() {
   }
 
   ScopedWrap wrap(opts_.masked ? opts_.wrap : nullptr);
+  ScopedPlans plans(opts_.masked ? opts_.checkpoint_plans : nullptr,
+                    opts_.validate_checkpoints);
   const weave::Mode mode =
       opts_.masked ? weave::Mode::InjectMask : weave::Mode::Inject;
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -48,6 +49,16 @@ struct Options {
   /// state the failed method left behind).  Costs one diff per intercepted
   /// exception.
   bool record_diffs = false;
+
+  /// Per-method checkpoint plans (write-set analysis output) installed into
+  /// the runtime for the duration of the campaign; the atomicity wrappers
+  /// consult them for field-granular checkpointing.  Null leaves whatever
+  /// plans the runtime already holds.  Only meaningful with `masked`.
+  std::shared_ptr<const weave::PlanMap> checkpoint_plans;
+
+  /// Completeness validator: shadow every partial checkpoint with a full
+  /// one and count rollback divergences (stats.validator_divergences).
+  bool validate_checkpoints = false;
 
   /// Static campaign pruning (analyze::StaticReport::prune_set feeds this):
   /// qualified names of methods the static analysis proved failure atomic.

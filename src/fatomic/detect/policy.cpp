@@ -1,0 +1,17 @@
+#include "fatomic/detect/policy.hpp"
+
+#include "fatomic/weave/method_info.hpp"
+
+namespace fatomic::detect {
+
+std::vector<std::string> unknown_policy_names(const Policy& policy) {
+  auto& registry = weave::MethodRegistry::instance();
+  std::vector<std::string> out;
+  for (const std::string& n : policy.no_wrap)
+    if (registry.find(n) == nullptr) out.push_back("no_wrap: " + n);
+  for (const std::string& n : policy.exception_free)
+    if (registry.find(n) == nullptr) out.push_back("exception_free: " + n);
+  return out;
+}
+
+}  // namespace fatomic::detect

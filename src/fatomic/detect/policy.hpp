@@ -8,6 +8,7 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 namespace fatomic::detect {
 
@@ -20,5 +21,11 @@ struct Policy {
   /// Qualified names excluded from automatic masking.
   std::set<std::string> no_wrap;
 };
+
+/// Policy entries (no_wrap and exception_free) naming methods that exist in
+/// no MethodInfo ever registered — almost always typos, which would silently
+/// exclude nothing.  The mask layer warns about these and campaign_json
+/// surfaces them as "policy_warnings".
+std::vector<std::string> unknown_policy_names(const Policy& policy);
 
 }  // namespace fatomic::detect

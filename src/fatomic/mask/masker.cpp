@@ -1,5 +1,6 @@
 #include "fatomic/mask/masker.hpp"
 
+#include <iostream>
 #include <memory>
 #include <set>
 #include <string>
@@ -16,10 +17,21 @@ weave::Runtime::WrapPredicate make_predicate(std::set<std::string> names) {
   };
 }
 
+/// A no_wrap entry with a typo matches nothing and silently re-enables
+/// masking of the method the programmer meant to exempt — flag it.
+void warn_unknown_no_wrap(const detect::Policy& policy) {
+  auto& registry = weave::MethodRegistry::instance();
+  for (const std::string& n : policy.no_wrap)
+    if (registry.find(n) == nullptr)
+      std::cerr << "fatomic: warning: policy no_wrap entry '" << n
+                << "' matches no registered method (typo?)\n";
+}
+
 }  // namespace
 
 weave::Runtime::WrapPredicate wrap_pure(const detect::Classification& cls,
                                         const detect::Policy& policy) {
+  warn_unknown_no_wrap(policy);
   std::set<std::string> names;
   for (const std::string& n : cls.pure_names())
     if (!policy.no_wrap.count(n)) names.insert(n);
@@ -28,32 +40,71 @@ weave::Runtime::WrapPredicate wrap_pure(const detect::Classification& cls,
 
 weave::Runtime::WrapPredicate wrap_all_nonatomic(
     const detect::Classification& cls, const detect::Policy& policy) {
+  warn_unknown_no_wrap(policy);
   std::set<std::string> names;
   for (const std::string& n : cls.nonatomic_names())
     if (!policy.no_wrap.count(n)) names.insert(n);
   return make_predicate(std::move(names));
 }
 
+std::shared_ptr<const weave::PlanMap> make_plans(
+    const analyze::StaticReport& report) {
+  auto plans = std::make_shared<weave::PlanMap>();
+  for (const auto& [name, w] : report.write_sets.methods)
+    if (w.plan.partial) plans->emplace(name, w.plan);
+  return plans;
+}
+
 MaskedScope::MaskedScope(weave::Runtime::WrapPredicate wrap)
     : mode_(weave::Mode::Mask),
-      saved_(weave::Runtime::instance().wrap_predicate()) {
+      saved_(weave::Runtime::instance().wrap_predicate()),
+      saved_plans_(weave::Runtime::instance().checkpoint_plans()),
+      saved_validate_(weave::Runtime::instance().validate_checkpoints) {
   weave::Runtime::instance().set_wrap_predicate(std::move(wrap));
 }
 
+MaskedScope::MaskedScope(weave::Runtime::WrapPredicate wrap,
+                         std::shared_ptr<const weave::PlanMap> plans,
+                         bool validate)
+    : MaskedScope(std::move(wrap)) {
+  auto& rt = weave::Runtime::instance();
+  rt.set_checkpoint_plans(std::move(plans));
+  rt.validate_checkpoints = validate;
+}
+
 MaskedScope::~MaskedScope() {
-  weave::Runtime::instance().set_wrap_predicate(std::move(saved_));
+  auto& rt = weave::Runtime::instance();
+  rt.set_wrap_predicate(std::move(saved_));
+  rt.set_checkpoint_plans(std::move(saved_plans_));
+  rt.validate_checkpoints = saved_validate_;
+}
+
+MaskVerification verify_masked_full(std::function<void()> program,
+                                    weave::Runtime::WrapPredicate wrap,
+                                    const detect::Policy& policy,
+                                    const MaskOptions& options) {
+  detect::Options opts;
+  opts.masked = true;
+  opts.wrap = std::move(wrap);
+  opts.jobs = options.jobs;
+  opts.checkpoint_plans = options.plans;
+  opts.validate_checkpoints = options.validate;
+  detect::Experiment exp(std::move(program), std::move(opts));
+  MaskVerification out;
+  out.campaign = exp.run();
+  out.classification = detect::classify(out.campaign, policy);
+  return out;
 }
 
 detect::Classification verify_masked(std::function<void()> program,
                                      weave::Runtime::WrapPredicate wrap,
                                      const detect::Policy& policy,
                                      unsigned jobs) {
-  detect::Options opts;
-  opts.masked = true;
-  opts.wrap = std::move(wrap);
-  opts.jobs = jobs;
-  detect::Experiment exp(std::move(program), std::move(opts));
-  return detect::classify(exp.run(), policy);
+  MaskOptions options;
+  options.jobs = jobs;
+  return verify_masked_full(std::move(program), std::move(wrap), policy,
+                            options)
+      .classification;
 }
 
 }  // namespace fatomic::mask

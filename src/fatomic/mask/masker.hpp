@@ -5,7 +5,9 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
+#include "fatomic/analyze/static_report.hpp"
 #include "fatomic/detect/classify.hpp"
 #include "fatomic/detect/experiment.hpp"
 #include "fatomic/weave/runtime.hpp"
@@ -15,6 +17,8 @@ namespace fatomic::mask {
 /// Wrap only the pure failure non-atomic methods (minus policy.no_wrap).
 /// Sufficient: once every pure method is failure atomic, every conditional
 /// method is atomic by Definition 3 (induction over the call graph).
+/// Warns on stderr when a no_wrap entry names a method the registry has
+/// never seen (detect::unknown_policy_names) — a typo excludes nothing.
 weave::Runtime::WrapPredicate wrap_pure(const detect::Classification& cls,
                                         const detect::Policy& policy = {});
 
@@ -24,12 +28,24 @@ weave::Runtime::WrapPredicate wrap_pure(const detect::Classification& cls,
 weave::Runtime::WrapPredicate wrap_all_nonatomic(
     const detect::Classification& cls, const detect::Policy& policy = {});
 
+/// Converts the static report's write-set plans into the runtime's PlanMap
+/// (field-granular checkpointing, DESIGN.md §8).  ⊤ verdicts are omitted —
+/// an absent entry already means "full checkpoint".
+std::shared_ptr<const weave::PlanMap> make_plans(
+    const analyze::StaticReport& report);
+
 /// RAII: switches the runtime to the corrected program P_C — Mask mode plus
 /// the given wrap predicate — for the lifetime of the scope.  The previously
-/// installed predicate (if any) is restored on exit.
+/// installed predicate (and checkpoint-plan state, for the plan-taking
+/// overload) is restored on exit.
 class MaskedScope {
  public:
   explicit MaskedScope(weave::Runtime::WrapPredicate wrap);
+  /// P_C with field-granular checkpoints: additionally installs `plans` and
+  /// the completeness-validator flag for the scope's lifetime.
+  MaskedScope(weave::Runtime::WrapPredicate wrap,
+              std::shared_ptr<const weave::PlanMap> plans,
+              bool validate = false);
   ~MaskedScope();
   MaskedScope(const MaskedScope&) = delete;
   MaskedScope& operator=(const MaskedScope&) = delete;
@@ -37,7 +53,33 @@ class MaskedScope {
  private:
   weave::ScopedMode mode_;
   weave::Runtime::WrapPredicate saved_;
+  std::shared_ptr<const weave::PlanMap> saved_plans_;
+  bool saved_validate_;
 };
+
+/// Checkpointing configuration for a mask-verify campaign.
+struct MaskOptions {
+  /// Field-granular checkpoint plans (mask::make_plans); null = full
+  /// checkpoints everywhere.
+  std::shared_ptr<const weave::PlanMap> plans;
+  /// Shadow-validate every partial checkpoint; divergences show up in
+  /// campaign.stats.validator_divergences.
+  bool validate = false;
+  /// Worker threads for the verification campaign (detect::Options::jobs).
+  unsigned jobs = 1;
+};
+
+/// verify_masked plus the raw campaign — callers that need the checkpoint
+/// counters (partial/fallback/validator stats) read them off the campaign.
+struct MaskVerification {
+  detect::Classification classification;
+  detect::Campaign campaign;
+};
+
+MaskVerification verify_masked_full(std::function<void()> program,
+                                    weave::Runtime::WrapPredicate wrap,
+                                    const detect::Policy& policy = {},
+                                    const MaskOptions& options = {});
 
 /// Re-runs the full injection campaign against the masked program and
 /// returns its classification; an effective mask yields zero non-atomic

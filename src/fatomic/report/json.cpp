@@ -92,6 +92,10 @@ std::string campaign_json(const detect::Campaign& campaign) {
      << ",\"comparisons\":" << campaign.stats.comparisons
      << ",\"rollbacks\":" << campaign.stats.rollbacks
      << ",\"wrapped_calls\":" << campaign.stats.wrapped_calls
+     << ",\"partial_checkpoints\":" << campaign.stats.partial_checkpoints
+     << ",\"partial_fallbacks\":" << campaign.stats.partial_fallbacks
+     << ",\"checkpoint_units\":" << campaign.stats.checkpoint_units
+     << ",\"validator_divergences\":" << campaign.stats.validator_divergences
      << "},\"details\":[";
   bool first = true;
   for (const auto& run : campaign.runs) {
@@ -152,7 +156,47 @@ std::string campaign_json(const detect::Campaign& campaign,
     }
     os << '}';
   }
-  os << "}}}";
+  // Write-set analysis (Pass 3): the checkpoint plan each method earned.
+  os << "},\"write_sets\":{\"partial\":" << report.write_sets.partial_count()
+     << ",\"total\":" << report.write_sets.methods.size() << ",\"methods\":[";
+  first = true;
+  for (const auto& [name, w] : report.write_sets.methods) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(name)
+       << "\",\"partial\":" << (w.plan.partial ? "true" : "false");
+    if (w.plan.partial) {
+      os << ",\"capture\":[";
+      bool inner = true;
+      for (const std::string& n : w.plan.capture) {
+        if (!inner) os << ',';
+        inner = false;
+        os << '"' << json_escape(n) << '"';
+      }
+      os << "],\"pruned\":" << w.plan.prune.size();
+    } else {
+      os << ",\"reason\":\"" << json_escape(w.top_reason) << '"';
+    }
+    os << '}';
+  }
+  os << "]}}}";
+  return os.str();
+}
+
+std::string campaign_json(const detect::Campaign& campaign,
+                          const detect::Policy& policy) {
+  std::string base = campaign_json(campaign);
+  base.pop_back();  // drop the closing brace, append the policy section
+
+  std::ostringstream os;
+  os << base << ",\"policy_warnings\":[";
+  bool first = true;
+  for (const std::string& w : detect::unknown_policy_names(policy)) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(w) << '"';
+  }
+  os << "]}";
   return os.str();
 }
 

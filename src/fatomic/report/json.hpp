@@ -18,12 +18,17 @@ std::string classification_json(const detect::Classification& cls);
 std::string campaign_json(const detect::Campaign& campaign);
 
 /// Campaign summary extended with a "static_analysis" section: per-method
-/// static verdicts plus the static-vs-dynamic agreement matrix (static
-/// verdict x dynamic classification, with "unobserved" for methods the
-/// campaign never called).
+/// static verdicts, the static-vs-dynamic agreement matrix (static verdict
+/// x dynamic classification, with "unobserved" for methods the campaign
+/// never called), and the write-set analysis' per-method checkpoint plans.
 std::string campaign_json(const detect::Campaign& campaign,
                           const detect::Classification& cls,
                           const analyze::StaticReport& report);
+
+/// Campaign summary extended with a "policy_warnings" array: policy entries
+/// naming methods the registry has never seen (detect::unknown_policy_names).
+std::string campaign_json(const detect::Campaign& campaign,
+                          const detect::Policy& policy);
 
 /// Escapes a string for inclusion in JSON output.
 std::string json_escape(const std::string& s);

@@ -1,0 +1,28 @@
+#include "fatomic/snapshot/partial.hpp"
+
+#include <sstream>
+
+namespace fatomic::snapshot {
+
+std::string to_string(const CheckpointPlan& plan) {
+  if (!plan.partial) return "full";
+  std::ostringstream os;
+  os << "partial{capture=";
+  const char* sep = "";
+  for (const auto& n : plan.capture) {
+    os << sep << n;
+    sep = ",";
+  }
+  if (!plan.prune.empty()) {
+    os << " prune=";
+    sep = "";
+    for (const auto& n : plan.prune) {
+      os << sep << n;
+      sep = ",";
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace fatomic::snapshot

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "fatomic/snapshot/diff.hpp"
+#include "fatomic/snapshot/partial.hpp"
 #include "fatomic/snapshot/restore.hpp"
 #include "fatomic/weave/exception_name.hpp"
 #include "fatomic/weave/method_info.hpp"
@@ -58,8 +59,42 @@ decltype(auto) masked_call(const MethodInfo& mi, Root& root, Fn&& body,
   } else {
     if (!rt.should_wrap(mi)) return body();
     ++rt.stats.wrapped_calls;
+    // Field-granular fast path (DESIGN.md §8): when the write-set analysis
+    // installed a partial plan for this method, capture only the planned
+    // leaves.  The walker handles tuple roots from invoke_with too (partial
+    // plans imply no parameter writes, so extra by-ref args only contribute
+    // walk structure).  Any walk-time surprise falls back to the full deep
+    // copy below.  No reflection traits are queried here: masked_call's
+    // deduced return type forces its body to instantiate at the FAT_INVOKE
+    // call site, which in subject layouts with trailing FAT_REFLECT blocks
+    // precedes the Reflect specialization — partial_capture/partial_restore
+    // have concrete return types, so their trait dispatch happens at the end
+    // of the translation unit, after every FAT_REFLECT.
+    if (const snapshot::CheckpointPlan* plan = rt.checkpoint_plan(mi)) {
+      snapshot::PartialSnapshot partial =
+          snapshot::partial_capture(root, *plan);
+      if (partial.ok) {
+        ++rt.stats.partial_checkpoints;
+        rt.stats.checkpoint_units += partial.values.size();
+        snapshot::Snapshot shadow;
+        if (rt.validate_checkpoints) shadow = snapshot::capture(root);
+        try {
+          return body();
+        } catch (...) {
+          snapshot::partial_restore(root, partial, *plan);
+          ++rt.stats.rollbacks;
+          if (rt.validate_checkpoints) {
+            snapshot::Snapshot restored = snapshot::capture(root);
+            if (!shadow.equals(restored)) ++rt.stats.validator_divergences;
+          }
+          throw;
+        }
+      }
+      ++rt.stats.partial_fallbacks;
+    }
     snapshot::Snapshot checkpoint = snapshot::capture(root);
     ++rt.stats.snapshots_taken;
+    rt.stats.checkpoint_units += checkpoint.node_count();
     try {
       return body();
     } catch (...) {

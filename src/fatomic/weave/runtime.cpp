@@ -41,6 +41,20 @@ void Runtime::adopt_config(const Runtime& src) {
   runtime_exceptions_ = src.runtime_exceptions_;
   wrap_ = src.wrap_;
   record_diffs = src.record_diffs;
+  plans_ = src.plans_;
+  plan_memo_.clear();
+  validate_checkpoints = src.validate_checkpoints;
+}
+
+const snapshot::CheckpointPlan* Runtime::checkpoint_plan(const MethodInfo& mi) {
+  if (plans_ == nullptr) return nullptr;
+  auto memo = plan_memo_.find(&mi);
+  if (memo != plan_memo_.end()) return memo->second;
+  const snapshot::CheckpointPlan* plan = nullptr;
+  auto it = plans_->find(mi.qualified_name());
+  if (it != plans_->end() && it->second.partial) plan = &it->second;
+  plan_memo_.emplace(&mi, plan);
+  return plan;
 }
 
 ScopedRuntime::ScopedRuntime(Runtime& rt) : saved_(tl_current) {

@@ -18,14 +18,22 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "fatomic/snapshot/partial.hpp"
 #include "fatomic/weave/method_info.hpp"
 
 namespace fatomic::weave {
+
+/// Per-method checkpoint plans keyed by qualified method name, produced by
+/// the write-set analysis (analyze::analyze_write_sets) and installed into a
+/// runtime for the mask layer to consult.  Methods without an entry — and
+/// entries with partial == false — use the full deep checkpoint.
+using PlanMap = std::map<std::string, snapshot::CheckpointPlan>;
 
 enum class Mode : std::uint8_t {
   Direct,      ///< call through, no instrumentation (original program P)
@@ -66,6 +74,19 @@ struct RuntimeStats {
   std::uint64_t comparisons = 0;
   std::uint64_t rollbacks = 0;
   std::uint64_t wrapped_calls = 0;
+  /// Atomicity-wrapper checkpoints served by a partial (field-granular)
+  /// capture instead of a full deep copy.
+  std::uint64_t partial_checkpoints = 0;
+  /// Partial captures that bailed at walk time (runtime shape surprise) and
+  /// fell back to the full deep copy.
+  std::uint64_t partial_fallbacks = 0;
+  /// Work metric: snapshot nodes built (full) or leaves recorded (partial),
+  /// summed over all checkpoints — the quantity field-granular plans shrink.
+  std::uint64_t checkpoint_units = 0;
+  /// Completeness-validator divergences: partial restore left the receiver
+  /// in a state differing from the shadow full checkpoint's restore.  Any
+  /// nonzero value indicates an unsound write set.
+  std::uint64_t validator_divergences = 0;
 };
 
 inline RuntimeStats& operator+=(RuntimeStats& a, const RuntimeStats& b) {
@@ -73,6 +94,10 @@ inline RuntimeStats& operator+=(RuntimeStats& a, const RuntimeStats& b) {
   a.comparisons += b.comparisons;
   a.rollbacks += b.rollbacks;
   a.wrapped_calls += b.wrapped_calls;
+  a.partial_checkpoints += b.partial_checkpoints;
+  a.partial_fallbacks += b.partial_fallbacks;
+  a.checkpoint_units += b.checkpoint_units;
+  a.validator_divergences += b.validator_divergences;
   return a;
 }
 
@@ -83,6 +108,10 @@ inline RuntimeStats operator-(RuntimeStats after, const RuntimeStats& before) {
   after.comparisons -= before.comparisons;
   after.rollbacks -= before.rollbacks;
   after.wrapped_calls -= before.wrapped_calls;
+  after.partial_checkpoints -= before.partial_checkpoints;
+  after.partial_fallbacks -= before.partial_fallbacks;
+  after.checkpoint_units -= before.checkpoint_units;
+  after.validator_divergences -= before.validator_divergences;
   return after;
 }
 
@@ -167,12 +196,35 @@ class Runtime {
   const WrapPredicate& wrap_predicate() const { return wrap_; }
   bool should_wrap(const MethodInfo& mi) const { return wrap_ && wrap_(mi); }
 
+  // --- checkpoint plans (write-set analysis, DESIGN.md §8) ------------------
+  /// Installs the per-method checkpoint plans the atomicity wrappers consult.
+  /// Null (the default) means every checkpoint is a full deep copy.
+  void set_checkpoint_plans(std::shared_ptr<const PlanMap> plans) {
+    plans_ = std::move(plans);
+    plan_memo_.clear();
+  }
+  const std::shared_ptr<const PlanMap>& checkpoint_plans() const {
+    return plans_;
+  }
+  /// The plan for `mi`, or null when none is installed / the plan is full.
+  /// Memoized per MethodInfo — wrappers call this on every protected call.
+  const snapshot::CheckpointPlan* checkpoint_plan(const MethodInfo& mi);
+
+  /// Debug completeness validator: when set, every partial checkpoint also
+  /// takes a shadow full checkpoint, and a rollback re-checks the restored
+  /// receiver against the shadow (stats.validator_divergences counts
+  /// mismatches).  Costs a full capture per wrapped call — off by default.
+  bool validate_checkpoints = false;
+
   RuntimeStats stats;
 
  private:
   Mode mode_ = Mode::Direct;
   std::vector<ExceptionSpec> runtime_exceptions_;
   WrapPredicate wrap_;
+  std::shared_ptr<const PlanMap> plans_;
+  std::unordered_map<const MethodInfo*, const snapshot::CheckpointPlan*>
+      plan_memo_;
 };
 
 /// RAII: installs a runtime as the calling thread's current one — every

@@ -489,6 +489,20 @@ void run_regexp() {
   }
 }
 
+void run_net_demo() {
+  subjects::net::Transport t;
+  t.open("a");
+  t.open("b");
+  t.send("a", "hello");
+  t.send("b", "world");
+  t.recv("a");
+  try {
+    t.recv("a");  // drained: real exception path
+  } catch (const subjects::net::NetError&) {
+  }
+  t.close_all();
+}
+
 // ---- registry -----------------------------------------------------------------
 
 const std::vector<App>& all_apps() {
@@ -527,6 +541,7 @@ const App& app(const std::string& name) {
   // Table 1 sweeps (run_all, CI lint gate).
   static const std::vector<App> hidden = {
       {"lintDemo", "C++", run_lint_demo},
+      {"netDemo", "C++", run_net_demo},
   };
   for (const App& a : hidden)
     if (a.name == name) return a;

@@ -49,4 +49,10 @@ void run_regexp();
 /// app("lintDemo"), excluded from all_apps() so suite sweeps stay clean.
 void run_lint_demo();
 
+/// Transport/Channel workload (net family) — reachable via app("netDemo");
+/// kept out of all_apps() (not a Table 1 subject) but swept by the CLI's
+/// --all --cross-check gate so the static prune set is validated against
+/// every subject family.
+void run_net_demo();
+
 }  // namespace subjects::apps

@@ -27,6 +27,7 @@ struct Args {
   std::string app;
   std::string language;
   std::vector<std::string> exception_free;
+  std::vector<std::string> no_wrap;
   unsigned jobs = 1;
   bool list = false;
   bool all = false;
@@ -41,6 +42,9 @@ struct Args {
   bool lint = false;
   bool prune_static = false;
   bool cross_check = false;
+  bool write_sets = false;
+  bool mask_partial = false;
+  bool validate_checkpoints = false;
   bool help = false;
 };
 
@@ -74,7 +78,17 @@ int usage(int code) {
       "                         are statically proven failure atomic\n"
       "  --cross-check          run full and pruned campaigns, verify the\n"
       "                         classifications are identical (exit != 0\n"
-      "                         on divergence)\n";
+      "                         on divergence); with --all: gate over every\n"
+      "                         subject family including hidden demos\n"
+      "  --write-sets           print the write-set analysis' per-method\n"
+      "                         checkpoint plans (usable without --app)\n"
+      "  --mask-partial         with --mask-verify: field-granular\n"
+      "                         checkpoints from the write-set analysis\n"
+      "  --validate-checkpoints shadow every partial checkpoint with a full\n"
+      "                         one and diff after rollback (exit != 0 on\n"
+      "                         any divergence)\n"
+      "  --no-wrap M            exclude method M from masking (repeatable;\n"
+      "                         unknown names are warned about)\n";
   return code;
 }
 
@@ -110,6 +124,12 @@ bool parse(int argc, char** argv, Args& args) {
       args.prune_static = true;
     } else if (a == "--cross-check") {
       args.cross_check = true;
+    } else if (a == "--write-sets") {
+      args.write_sets = true;
+    } else if (a == "--mask-partial") {
+      args.mask_partial = true;
+    } else if (a == "--validate-checkpoints") {
+      args.validate_checkpoints = true;
     } else if (a == "--help" || a == "-h") {
       args.help = true;
     } else if (a == "--app") {
@@ -134,6 +154,10 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.exception_free.push_back(v);
+    } else if (a == "--no-wrap") {
+      const char* v = value();
+      if (!v) return false;
+      args.no_wrap.push_back(v);
     } else {
       std::cerr << "unknown option: " << a << '\n';
       return false;
@@ -182,9 +206,11 @@ int run_one(const Args& args) {
   const auto& app = subjects::apps::app(args.app);
   detect::Policy policy;
   for (const auto& m : args.exception_free) policy.exception_free.insert(m);
+  for (const auto& m : args.no_wrap) policy.no_wrap.insert(m);
 
-  const bool need_static =
-      args.analyze || args.prune_static || args.cross_check;
+  const bool need_static = args.analyze || args.prune_static ||
+                           args.cross_check || args.write_sets ||
+                           args.mask_partial;
   fatomic::analyze::StaticReport sreport;
   if (need_static) sreport = fatomic::analyze::analyze_sources(subject_root());
 
@@ -221,6 +247,7 @@ int run_one(const Args& args) {
               << " injector runs skipped (" << sreport.proven_count() << " of "
               << sreport.method_count() << " methods statically proven)\n";
   if (args.analyze) std::cout << '\n' << sreport.to_text();
+  if (args.write_sets) std::cout << '\n' << sreport.write_sets.to_text();
 
   if (args.details) std::cout << '\n' << report::method_details(result);
   if (args.json) {
@@ -228,6 +255,8 @@ int run_one(const Args& args) {
     if (args.analyze)
       std::cout << report::campaign_json(result.campaign, cls, sreport)
                 << '\n';
+    else if (!policy.no_wrap.empty() || !policy.exception_free.empty())
+      std::cout << report::campaign_json(result.campaign, policy) << '\n';
     else
       std::cout << report::campaign_json(result.campaign) << '\n';
   }
@@ -242,12 +271,29 @@ int run_one(const Args& args) {
       std::cout << "  " << site << '\n';
   }
   if (args.mask_verify) {
-    auto verified = fatomic::mask::verify_masked(
-        app.program, fatomic::mask::wrap_pure(cls, policy), policy, args.jobs);
-    const auto remaining = verified.nonatomic_names();
+    fatomic::mask::MaskOptions options;
+    options.jobs = args.jobs;
+    options.validate = args.validate_checkpoints;
+    if (args.mask_partial) options.plans = fatomic::mask::make_plans(sreport);
+    const auto verified = fatomic::mask::verify_masked_full(
+        app.program, fatomic::mask::wrap_pure(cls, policy), policy, options);
+    const auto remaining = verified.classification.nonatomic_names();
     std::cout << "\nmask verification: " << remaining.size()
               << " non-atomic methods remain\n";
     for (const auto& name : remaining) std::cout << "  " << name << '\n';
+    if (args.mask_partial) {
+      const auto& stats = verified.campaign.stats;
+      std::cout << "checkpoints: " << stats.partial_checkpoints
+                << " partial, " << stats.snapshots_taken << " full ("
+                << stats.partial_fallbacks << " fallbacks), "
+                << stats.checkpoint_units << " units\n";
+    }
+    if (args.validate_checkpoints) {
+      const auto divergences = verified.campaign.stats.validator_divergences;
+      std::cout << "checkpoint validator: " << divergences
+                << " divergences\n";
+      if (divergences > 0) return 2;
+    }
     return remaining.empty() ? 0 : 2;
   }
   if (args.lint) return print_lint(app.name, result.campaign);
@@ -255,6 +301,31 @@ int run_one(const Args& args) {
 }
 
 int run_all(const Args& args) {
+  if (args.cross_check) {
+    // Soundness gate: validate the static prune set against every subject
+    // family — the Table 1 sweep plus the hidden demos (apps, net).
+    const auto sreport = fatomic::analyze::analyze_sources(subject_root());
+    const auto prune = sreport.prune_set();
+    std::vector<subjects::apps::App> gate = subjects::apps::all_apps();
+    gate.push_back(subjects::apps::app("lintDemo"));
+    gate.push_back(subjects::apps::app("netDemo"));
+    int status = 0;
+    for (const auto& app : gate) {
+      if (!args.language.empty() && app.language != args.language) continue;
+      const auto cc =
+          fatomic::analyze::cross_check(app.program, prune, args.jobs);
+      std::cout << app.name << ": cross-check "
+                << (cc.identical ? "identical" : "DIVERGED") << ", "
+                << cc.runs_saved << " of " << cc.full.runs.size()
+                << " injector runs pruned\n";
+      if (!cc.identical) {
+        std::cout << "  first mismatch: " << cc.mismatch << '\n';
+        status = 2;
+      }
+    }
+    return status;
+  }
+
   std::vector<report::AppResult> results;
   int lint_status = 0;
   for (const auto& app : subjects::apps::all_apps()) {
@@ -289,6 +360,13 @@ int main(int argc, char** argv) {
   try {
     if (args.all) return run_all(args);
     if (!args.app.empty()) return run_one(args);
+    if (args.write_sets) {
+      // Static-only mode: no campaign, just the per-method checkpoint plans.
+      const auto sreport =
+          fatomic::analyze::analyze_sources(subject_root());
+      std::cout << sreport.write_sets.to_text();
+      return 0;
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
