@@ -129,7 +129,7 @@ int main() {
     // exactly like the full-checkpoint mask, and the shadow validator must
     // see every partial restore reproduce the full-restore state.
     const auto full_cls = mask::verify_masked(app.program, wrap);
-    mask::MaskOptions opts;
+    mask::VerifySettings opts;
     opts.plans = plans;
     opts.validate = true;
     const auto partial_v = mask::verify_masked_full(app.program, wrap, {}, opts);

@@ -1,5 +1,5 @@
 // Parallel-campaign speedup: sequential vs N-thread wall time of the full
-// injection campaign over the collections subjects (detect::Options::jobs).
+// injection campaign over the collections subjects (CampaignSettings::jobs).
 // Campaign runs at distinct thresholds are independent re-executions, so on
 // a machine with J hardware threads the campaign phase should approach a Jx
 // speedup; the Count-mode baseline run stays sequential.  The bench prints
@@ -25,7 +25,7 @@ namespace {
 
 double campaign_ms(const std::function<void()>& program, unsigned jobs,
                    detect::Campaign& out) {
-  detect::Options opts;
+  detect::CampaignSettings opts;
   opts.jobs = jobs;
   const auto t0 = std::chrono::steady_clock::now();
   out = detect::Experiment(program, opts).run();

@@ -1,5 +1,5 @@
 // Static-pruning payoff: full vs pruned campaign over a collections subject
-// and an xml subject (detect::Options::prune_atomic fed from the static
+// and an xml subject (fatomic::Config::prune_atomic fed from the static
 // effect analysis).  For each workload the bench reports how many injector
 // runs the prune set eliminates and verifies on the fly that the pruned
 // campaign classifies identically to the full one — the empirical guard on

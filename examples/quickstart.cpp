@@ -71,7 +71,11 @@ FAT_REFLECT(Stack, FAT_FIELD(Stack, items_));
 
 int main() {
   // --- detection phase (paper steps 1-3) ---------------------------------
-  fatomic::detect::Experiment experiment(workload);
+  // All knobs flow through the fatomic::Config builder; tracing(true) makes
+  // the campaign return its structured event stream alongside the results.
+  fatomic::Config config;
+  config.tracing(true);
+  fatomic::detect::Experiment experiment(workload, config);
   auto campaign = experiment.run();
   auto classification = fatomic::detect::classify(campaign);
 
@@ -95,8 +99,15 @@ int main() {
   }
 
   // --- verification --------------------------------------------------------
-  auto verified = fatomic::mask::verify_masked(workload, wrap);
-  std::cout << "non-atomic methods after masking: "
-            << verified.nonatomic_names().size() << " (expect 0)\n";
-  return verified.nonatomic_names().empty() ? 0 : 1;
+  config.mask(wrap);
+  auto verified = fatomic::mask::verify_masked_full(workload, config);
+  const auto remaining = verified.classification.nonatomic_names();
+  std::cout << "non-atomic methods after masking: " << remaining.size()
+            << " (expect 0)\n";
+
+  // --- observability -------------------------------------------------------
+  // The traced detection campaign carries its merged event stream; the
+  // summary table (and trace::chrome_trace_json for Perfetto) come for free.
+  std::cout << '\n' << fatomic::trace::trace_summary(campaign.trace);
+  return remaining.empty() ? 0 : 1;
 }

@@ -67,12 +67,12 @@ CrossCheck cross_check(std::function<void()> program,
                        unsigned jobs) {
   CrossCheck out;
   {
-    detect::Options opts;
+    detect::CampaignSettings opts;
     opts.jobs = jobs;
     out.full = detect::Experiment(program, opts).run();
   }
   {
-    detect::Options opts;
+    detect::CampaignSettings opts;
     opts.jobs = jobs;
     opts.prune_atomic = prune_atomic;
     out.pruned = detect::Experiment(program, opts).run();

@@ -22,7 +22,7 @@ struct StaticReport {
   EffectAnalysis effects;
   WriteSetAnalysis write_sets;
 
-  /// Qualified names safe to feed detect::Options::prune_atomic: statically
+  /// Qualified names safe to feed fatomic::Config::prune_atomic: statically
   /// proven failure atomic, with a receiver (statics have no state to
   /// protect and never produce marks), and free of catch clauses (a
   /// swallowing method may resume into divergent control flow the pruned

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "fatomic/trace/trace.hpp"
 #include "fatomic/weave/runtime.hpp"
 
 namespace fatomic::detect {
@@ -26,6 +27,20 @@ struct RunRecord {
   std::string escape_what;
 };
 
+/// Stats attributable to one campaign worker (0 = the driving thread for
+/// sequential campaigns, 1..N for parallel workers).  Which worker executed
+/// which threshold is a scheduling artifact, so per-worker rows vary between
+/// executions even though their sums are deterministic — reports expose them
+/// as observability metadata, never as part of the canonical result.
+struct WorkerStats {
+  unsigned worker = 0;
+  /// Injector runs this worker contributed to the campaign (kept records
+  /// plus the terminal probe; speculative runs past the cutoff are not
+  /// counted, mirroring the merged stats).
+  std::uint64_t runs = 0;
+  weave::RuntimeStats stats;
+};
+
 struct Campaign {
   std::vector<RunRecord> runs;
   std::unordered_map<const weave::MethodInfo*, std::uint64_t> call_counts;
@@ -36,13 +51,21 @@ struct Campaign {
       call_edges;
   /// Snapshot/comparison/rollback/wrapped-call counters accumulated over the
   /// campaign's injector runs — aggregated across workers when the campaign
-  /// ran with Options::jobs > 1, and restricted to the runs the campaign
+  /// ran with CampaignSettings::jobs > 1, and restricted to the runs the campaign
   /// keeps, so parallel and sequential campaigns report identical totals.
   weave::RuntimeStats stats;
-  /// Injector runs skipped by static pruning (Options::prune_atomic): the
-  /// thresholds whose entire injection-time call stack was statically proven
-  /// failure atomic.  0 for unpruned campaigns.
+  /// Injector runs skipped by static pruning (prune_atomic): the thresholds
+  /// whose entire injection-time call stack was statically proven failure
+  /// atomic.  0 for unpruned campaigns.
   std::uint64_t pruned_runs = 0;
+  /// Per-worker breakdown of `stats` — parallel campaigns previously merged
+  /// worker contributions destructively; this keeps the attribution.  The
+  /// entries sum to `stats` exactly.  Sorted by worker ordinal.
+  std::vector<WorkerStats> worker_stats;
+  /// Deterministically merged structured event stream (empty unless the
+  /// campaign ran with tracing enabled — CampaignSettings::trace or
+  /// fatomic::Config::tracing).
+  trace::Trace trace;
 
   /// Number of exceptions actually injected (Table 1, #Injections).
   std::uint64_t injections() const {

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <set>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "fatomic/config.hpp"
 
 namespace fatomic::detect {
 
@@ -17,8 +21,12 @@ std::size_t Campaign::distinct_classes() const {
   return classes.size();
 }
 
-Experiment::Experiment(std::function<void()> program, Options opts)
+Experiment::Experiment(std::function<void()> program, CampaignSettings opts)
     : program_(std::move(program)), opts_(std::move(opts)) {}
+
+Experiment::Experiment(std::function<void()> program,
+                       const fatomic::Config& config)
+    : Experiment(std::move(program), config.campaign_settings()) {}
 
 namespace {
 
@@ -65,6 +73,46 @@ class ScopedPlans {
   bool saved_validate_;
 };
 
+/// RAII: puts the driving runtime's trace buffer into the state this
+/// campaign wants — armed with a fresh epoch for traced campaigns, disabled
+/// otherwise (so an untraced inner campaign stays invisible to an outer
+/// traced one) — and restores the previous state after.
+class ScopedTrace {
+ public:
+  ScopedTrace(weave::Runtime& rt, bool on)
+      : rt_(rt),
+        saved_enabled_(rt.trace.enabled()),
+        saved_epoch_(rt.trace.epoch()),
+        saved_worker_(rt.trace.worker()) {
+    if (on) {
+      const auto now = std::chrono::steady_clock::now().time_since_epoch();
+      rt_.trace.enable(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now).count()));
+      rt_.trace.set_worker(0);
+      rt_.trace.set_run(0);
+      rt_.trace.take(0);  // drop leftovers from an interrupted campaign
+    } else {
+      rt_.trace.disable();
+    }
+  }
+  ~ScopedTrace() {
+    if (saved_enabled_)
+      rt_.trace.enable(saved_epoch_);
+    else
+      rt_.trace.disable();
+    rt_.trace.set_worker(saved_worker_);
+    rt_.trace.set_run(0);
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  weave::Runtime& rt_;
+  bool saved_enabled_;
+  std::uint64_t saved_epoch_;
+  std::uint16_t saved_worker_;
+};
+
 /// One injector run and everything the campaign needs from it.
 struct RunOutcome {
   RunRecord rec;
@@ -73,6 +121,10 @@ struct RunOutcome {
   bool terminal = false;
   /// Stats delta attributable to this run alone.
   weave::RuntimeStats stats;
+  /// Ordinal of the worker that executed the run (0 = driving thread).
+  unsigned worker = 0;
+  /// This run's slice of the executing runtime's event stream.
+  std::vector<trace::Event> events;
 };
 
 /// Executes the injector program once at `threshold` against the calling
@@ -81,7 +133,9 @@ RunOutcome run_once(const std::function<void()>& program, weave::Runtime& rt,
                     weave::Mode mode, std::uint64_t threshold) {
   weave::ScopedMode m(mode);
   const weave::RuntimeStats before = rt.stats;
+  const std::size_t trace_base = rt.trace.size();
   rt.begin_run(threshold);
+  const std::uint64_t run_t0 = rt.trace.begin_span();
 
   RunOutcome out;
   out.rec.injection_point = threshold;
@@ -102,17 +156,30 @@ RunOutcome run_once(const std::function<void()>& program, weave::Runtime& rt,
   // of copying it (marks can carry per-injection diff strings).
   out.rec.marks = std::move(rt.marks);
   out.terminal = !out.rec.injected && rt.point < threshold;
+  rt.trace.span(trace::EventKind::Run, run_t0, out.rec.injected_method,
+                out.rec.marks.size());
   out.stats = rt.stats - before;
+  out.worker = rt.trace.worker();
+  out.events = rt.trace.take(trace_base);
   return out;
 }
 
-/// Appends a run's contribution to the campaign, applying the terminal-run
-/// rule: an exhausted, uninjected run ends the campaign, but its record is
-/// kept when the subject program escaped an exception of its own — only the
-/// truly empty terminal run is dropped.  Returns true when the campaign is
-/// over.
-bool absorb(Campaign& campaign, RunOutcome&& out) {
+/// Appends a run's contribution to the campaign — merged stats, per-worker
+/// attribution, trace slice — applying the terminal-run rule: an exhausted,
+/// uninjected run ends the campaign, but its record is kept when the subject
+/// program escaped an exception of its own — only the truly empty terminal
+/// run is dropped.  Returns true when the campaign is over.
+bool absorb(Campaign& campaign, std::map<unsigned, WorkerStats>& workers,
+            RunOutcome&& out) {
   campaign.stats += out.stats;
+  WorkerStats& w = workers[out.worker];
+  w.worker = out.worker;
+  ++w.runs;
+  w.stats += out.stats;
+  if (campaign.trace.enabled)
+    campaign.trace.events.insert(campaign.trace.events.end(),
+                                 std::make_move_iterator(out.events.begin()),
+                                 std::make_move_iterator(out.events.end()));
   if (out.terminal) {
     if (out.rec.escaped) campaign.runs.push_back(std::move(out.rec));
     return true;
@@ -126,6 +193,10 @@ bool absorb(Campaign& campaign, RunOutcome&& out) {
 Campaign Experiment::run() {
   auto& rt = weave::Runtime::instance();
   Campaign campaign;
+
+  ScopedTrace trace_scope(rt, opts_.trace);
+  campaign.trace.enabled = rt.trace.enabled();
+  const std::uint64_t campaign_t0 = rt.trace.begin_span();
 
   // With static pruning requested, the baseline additionally records the
   // call stack at every wrapped call — one stack per injection-point group,
@@ -147,12 +218,15 @@ Campaign Experiment::run() {
   {
     weave::ScopedMode mode(weave::Mode::Count);
     rt.reset_counts();
+    const std::uint64_t baseline_t0 = rt.trace.begin_span();
     try {
       program_();
     } catch (...) {
     }
     campaign.call_counts = rt.call_counts;
     campaign.call_edges = rt.call_edges;
+    rt.trace.span(trace::EventKind::Baseline, baseline_t0, nullptr,
+                  campaign.total_calls());
   }
 
   // Map thresholds to statically skippable runs.  Each wrapped call fires
@@ -182,6 +256,11 @@ Campaign Experiment::run() {
     rt.call_sites.clear();
   }
 
+  // Campaign-scope events recorded so far (the baseline span) open the
+  // merged stream; every kept run's slice follows in threshold order, and
+  // the closing campaign span lands last.
+  if (campaign.trace.enabled) campaign.trace.events = rt.trace.take(0);
+
   ScopedWrap wrap(opts_.masked ? opts_.wrap : nullptr);
   ScopedPlans plans(opts_.masked ? opts_.checkpoint_plans : nullptr,
                     opts_.validate_checkpoints);
@@ -203,6 +282,16 @@ Campaign Experiment::run() {
     run_parallel(campaign, mode, jobs, prunable);
   else
     run_sequential(campaign, mode, prunable);
+
+  if (campaign.trace.enabled) {
+    rt.trace.set_run(0);
+    rt.trace.span(trace::EventKind::Campaign, campaign_t0, nullptr,
+                  campaign.runs.size());
+    std::vector<trace::Event> tail = rt.trace.take(0);
+    campaign.trace.events.insert(campaign.trace.events.end(),
+                                 std::make_move_iterator(tail.begin()),
+                                 std::make_move_iterator(tail.end()));
+  }
   return campaign;
 }
 
@@ -222,20 +311,30 @@ std::uint64_t count_pruned(const std::vector<bool>& prunable,
   return n;
 }
 
+std::vector<WorkerStats> sorted_workers(
+    std::map<unsigned, WorkerStats>&& workers) {
+  std::vector<WorkerStats> out;
+  out.reserve(workers.size());
+  for (auto& [ordinal, w] : workers) out.push_back(std::move(w));
+  return out;
+}
+
 }  // namespace
 
 void Experiment::run_sequential(Campaign& campaign, weave::Mode mode,
                                 const std::vector<bool>& prunable) {
   auto& rt = weave::Runtime::instance();
+  std::map<unsigned, WorkerStats> workers;
   std::uint64_t cutoff = opts_.max_runs + 1;
   for (std::uint64_t threshold = 1; threshold <= opts_.max_runs; ++threshold) {
     if (is_prunable(prunable, threshold)) continue;
-    if (absorb(campaign, run_once(program_, rt, mode, threshold))) {
+    if (absorb(campaign, workers, run_once(program_, rt, mode, threshold))) {
       cutoff = threshold;
       break;
     }
   }
   campaign.pruned_runs = count_pruned(prunable, cutoff);
+  campaign.worker_stats = sorted_workers(std::move(workers));
 }
 
 void Experiment::run_parallel(Campaign& campaign, weave::Mode mode,
@@ -253,12 +352,13 @@ void Experiment::run_parallel(Campaign& campaign, weave::Mode mode,
   std::vector<std::pair<std::uint64_t, RunOutcome>> collected;
   std::exception_ptr failure;
 
-  auto worker = [&] {
+  auto worker = [&](unsigned ordinal) {
     // An isolated runtime mirroring the driving thread's configuration;
     // installing it makes every Runtime::instance() hit on this thread —
     // i.e. every FAT_INVOKE wrapper of the subject program — see it.
     weave::Runtime rt;
     rt.adopt_config(parent);
+    rt.trace.set_worker(static_cast<std::uint16_t>(ordinal));
     weave::ScopedRuntime install(rt);
     try {
       for (;;) {
@@ -287,7 +387,7 @@ void Experiment::run_parallel(Campaign& campaign, weave::Mode mode,
 
   std::vector<std::thread> pool;
   pool.reserve(jobs);
-  for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
+  for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker, i + 1);
   for (std::thread& t : pool) t.join();
   if (failure) std::rethrow_exception(failure);
 
@@ -297,11 +397,13 @@ void Experiment::run_parallel(Campaign& campaign, weave::Mode mode,
   const std::uint64_t cutoff = stop.load();
   std::sort(collected.begin(), collected.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::map<unsigned, WorkerStats> workers;
   for (auto& [threshold, out] : collected) {
     if (threshold > cutoff) continue;
-    absorb(campaign, std::move(out));
+    absorb(campaign, workers, std::move(out));
   }
   campaign.pruned_runs = count_pruned(prunable, cutoff);
+  campaign.worker_stats = sorted_workers(std::move(workers));
 }
 
 }  // namespace fatomic::detect

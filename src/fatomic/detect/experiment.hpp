@@ -5,79 +5,42 @@
 // all injection points of the (deterministic) program are then exhausted.
 //
 // Runs at distinct thresholds are independent re-executions of the same
-// deterministic program, so with Options::jobs > 1 the driver shards them
-// across a worker pool of isolated thread-local runtimes and merges the
-// records back in threshold order — producing exactly the Campaign the
-// sequential loop would, including the stop-at-first-exhausted-run cutoff.
+// deterministic program, so with CampaignSettings::jobs > 1 the driver
+// shards them across a worker pool of isolated thread-local runtimes and
+// merges the records back in threshold order — producing exactly the
+// Campaign the sequential loop would, including the
+// stop-at-first-exhausted-run cutoff.  With tracing enabled each run's event
+// slice rides along and merges in the same order, so the trace stream is
+// deterministic by construction (trace/trace.hpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <set>
-#include <string>
 #include <vector>
 
 #include "fatomic/detect/campaign.hpp"
-#include "fatomic/weave/runtime.hpp"
+#include "fatomic/detect/options.hpp"
+
+namespace fatomic {
+class Config;
+}
 
 namespace fatomic::detect {
 
-struct Options {
-  /// Safety valve against runaway campaigns on non-terminating programs.
-  std::uint64_t max_runs = 10'000'000;
-
-  /// Worker threads running injector runs concurrently.  1 (the default)
-  /// keeps the strictly sequential loop on the calling thread; 0 means "one
-  /// per hardware thread".  Any value yields a Campaign identical to the
-  /// sequential one provided the program is deterministic and shares no
-  /// mutable state across invocations (every subject workload constructs
-  /// fresh objects per run).
-  unsigned jobs = 1;
-
-  /// Run the campaign against the *corrected* program (injection wrappers
-  /// around atomicity wrappers) to verify that masking removed all
-  /// non-atomic behaviour.  Requires `wrap` (or a predicate already
-  /// installed in the runtime).
-  bool masked = false;
-
-  /// Wrap predicate installed for the duration of the campaign when
-  /// `masked` is set.
-  weave::Runtime::WrapPredicate wrap;
-
-  /// Attach a one-line object-graph diff to every non-atomic mark (what
-  /// state the failed method left behind).  Costs one diff per intercepted
-  /// exception.
-  bool record_diffs = false;
-
-  /// Per-method checkpoint plans (write-set analysis output) installed into
-  /// the runtime for the duration of the campaign; the atomicity wrappers
-  /// consult them for field-granular checkpointing.  Null leaves whatever
-  /// plans the runtime already holds.  Only meaningful with `masked`.
-  std::shared_ptr<const weave::PlanMap> checkpoint_plans;
-
-  /// Completeness validator: shadow every partial checkpoint with a full
-  /// one and count rollback divergences (stats.validator_divergences).
-  bool validate_checkpoints = false;
-
-  /// Static campaign pruning (analyze::StaticReport::prune_set feeds this):
-  /// qualified names of methods the static analysis proved failure atomic.
-  /// The Count baseline additionally records the call stack at every
-  /// injection point; a threshold whose entire stack consists of methods in
-  /// this set is skipped — the run could only produce atomic marks for
-  /// methods already known atomic, so the resulting classification sets are
-  /// unchanged while the campaign executes fewer injector runs.  Empty set =
-  /// no pruning.  Soundness argument: DESIGN.md §7.
-  std::set<std::string> prune_atomic;
-};
-
 class Experiment {
  public:
-  explicit Experiment(std::function<void()> program, Options opts = {});
+  /// Preferred entry point: all knobs come from the unified builder
+  /// (fatomic/config.hpp).
+  Experiment(std::function<void()> program, const fatomic::Config& config);
+
+  /// Low-level entry point; the deprecated detect::Options adapter lands
+  /// here by inheritance.
+  explicit Experiment(std::function<void()> program,
+                      CampaignSettings opts = {});
 
   /// Runs the full campaign: one Count-mode baseline run for call counts,
   /// then one injector run per injection point (parallelised over
-  /// Options::jobs workers when jobs != 1).  With Options::prune_atomic,
+  /// CampaignSettings::jobs workers when jobs != 1).  With prune_atomic,
   /// thresholds whose injection-time call stack is entirely proven atomic
   /// are skipped and counted in Campaign::pruned_runs instead.
   Campaign run();
@@ -91,7 +54,7 @@ class Experiment {
                     const std::vector<bool>& prunable);
 
   std::function<void()> program_;
-  Options opts_;
+  CampaignSettings opts_;
 };
 
 }  // namespace fatomic::detect

@@ -1,6 +1,8 @@
 #include "fatomic/mask/masker.hpp"
 
 #include <iostream>
+
+#include "fatomic/config.hpp"
 #include <memory>
 #include <set>
 #include <string>
@@ -60,7 +62,9 @@ MaskedScope::MaskedScope(weave::Runtime::WrapPredicate wrap)
       saved_(weave::Runtime::instance().wrap_predicate()),
       saved_plans_(weave::Runtime::instance().checkpoint_plans()),
       saved_validate_(weave::Runtime::instance().validate_checkpoints) {
-  weave::Runtime::instance().set_wrap_predicate(std::move(wrap));
+  auto& rt = weave::Runtime::instance();
+  rt.set_wrap_predicate(std::move(wrap));
+  rt.trace.instant(trace::EventKind::MaskScope, nullptr, /*entered=*/1);
 }
 
 MaskedScope::MaskedScope(weave::Runtime::WrapPredicate wrap,
@@ -74,6 +78,7 @@ MaskedScope::MaskedScope(weave::Runtime::WrapPredicate wrap,
 
 MaskedScope::~MaskedScope() {
   auto& rt = weave::Runtime::instance();
+  rt.trace.instant(trace::EventKind::MaskScope, nullptr, /*entered=*/0);
   rt.set_wrap_predicate(std::move(saved_));
   rt.set_checkpoint_plans(std::move(saved_plans_));
   rt.validate_checkpoints = saved_validate_;
@@ -82,13 +87,14 @@ MaskedScope::~MaskedScope() {
 MaskVerification verify_masked_full(std::function<void()> program,
                                     weave::Runtime::WrapPredicate wrap,
                                     const detect::Policy& policy,
-                                    const MaskOptions& options) {
-  detect::Options opts;
+                                    const VerifySettings& options) {
+  detect::CampaignSettings opts;
   opts.masked = true;
   opts.wrap = std::move(wrap);
   opts.jobs = options.jobs;
   opts.checkpoint_plans = options.plans;
   opts.validate_checkpoints = options.validate;
+  opts.trace = options.trace;
   detect::Experiment exp(std::move(program), std::move(opts));
   MaskVerification out;
   out.campaign = exp.run();
@@ -96,11 +102,23 @@ MaskVerification verify_masked_full(std::function<void()> program,
   return out;
 }
 
+MaskVerification verify_masked_full(std::function<void()> program,
+                                    const fatomic::Config& config) {
+  const detect::CampaignSettings& s = config.campaign_settings();
+  VerifySettings options;
+  options.plans = s.checkpoint_plans;
+  options.validate = s.validate_checkpoints;
+  options.jobs = s.jobs;
+  options.trace = s.trace;
+  return verify_masked_full(std::move(program), s.wrap, config.policy(),
+                            options);
+}
+
 detect::Classification verify_masked(std::function<void()> program,
                                      weave::Runtime::WrapPredicate wrap,
                                      const detect::Policy& policy,
                                      unsigned jobs) {
-  MaskOptions options;
+  VerifySettings options;
   options.jobs = jobs;
   return verify_masked_full(std::move(program), std::move(wrap), policy,
                             options)

@@ -12,6 +12,10 @@
 #include "fatomic/detect/experiment.hpp"
 #include "fatomic/weave/runtime.hpp"
 
+namespace fatomic {
+class Config;
+}
+
 namespace fatomic::mask {
 
 /// Wrap only the pure failure non-atomic methods (minus policy.no_wrap).
@@ -57,17 +61,29 @@ class MaskedScope {
   bool saved_validate_;
 };
 
-/// Checkpointing configuration for a mask-verify campaign.
-struct MaskOptions {
+/// Checkpointing configuration for a mask-verify campaign.  Like
+/// detect::CampaignSettings this is the internal carrier — the supported
+/// entry point is fatomic::Config plus the Config overload of
+/// verify_masked_full below.
+struct VerifySettings {
   /// Field-granular checkpoint plans (mask::make_plans); null = full
   /// checkpoints everywhere.
   std::shared_ptr<const weave::PlanMap> plans;
   /// Shadow-validate every partial checkpoint; divergences show up in
   /// campaign.stats.validator_divergences.
   bool validate = false;
-  /// Worker threads for the verification campaign (detect::Options::jobs).
+  /// Worker threads for the verification campaign.
   unsigned jobs = 1;
+  /// Record the structured event trace of the verification campaign
+  /// (Campaign::trace).
+  bool trace = false;
 };
+
+/// Deprecated spelling of VerifySettings, kept as a thin adapter for one
+/// release.
+struct [[deprecated(
+    "configure mask verification with fatomic::Config (fatomic/config.hpp)")]]
+MaskOptions : VerifySettings {};
 
 /// verify_masked plus the raw campaign — callers that need the checkpoint
 /// counters (partial/fallback/validator stats) read them off the campaign.
@@ -79,12 +95,18 @@ struct MaskVerification {
 MaskVerification verify_masked_full(std::function<void()> program,
                                     weave::Runtime::WrapPredicate wrap,
                                     const detect::Policy& policy = {},
-                                    const MaskOptions& options = {});
+                                    const VerifySettings& options = {});
+
+/// Config-driven verification: the wrap predicate, checkpoint plans, policy,
+/// jobs, validator and tracing flags all come from the unified builder.
+/// Requires a predicate installed via Config::mask().
+MaskVerification verify_masked_full(std::function<void()> program,
+                                    const fatomic::Config& config);
 
 /// Re-runs the full injection campaign against the masked program and
 /// returns its classification; an effective mask yields zero non-atomic
 /// methods.  `jobs` shards the verification campaign across worker threads
-/// (detect::Options::jobs).
+/// (CampaignSettings::jobs).
 detect::Classification verify_masked(std::function<void()> program,
                                      weave::Runtime::WrapPredicate wrap,
                                      const detect::Policy& policy = {},

@@ -3,6 +3,8 @@
 #include <map>
 #include <sstream>
 
+#include "fatomic/trace/export.hpp"
+
 namespace fatomic::report {
 
 std::string json_escape(const std::string& s) {
@@ -109,7 +111,14 @@ std::string campaign_json(const detect::Campaign& campaign) {
        << "\",\"escaped\":" << (run.escaped ? "true" : "false")
        << ",\"marks\":" << run.marks.size() << '}';
   }
-  os << "]}";
+  os << "]";
+  // The trace section carries per-worker attribution (scheduling metadata
+  // that varies between executions), so it only appears for campaigns that
+  // explicitly opted into tracing — untraced campaign_json stays
+  // byte-deterministic across jobs values.
+  if (campaign.trace.enabled)
+    os << ",\"trace\":" << trace::trace_section_json(campaign);
+  os << '}';
   return os.str();
 }
 

@@ -1,0 +1,44 @@
+// Trace exporters: Chrome/Perfetto trace_event JSON, the human-readable
+// summary table, and the "trace" section embedded in campaign_json.
+//
+// The Chrome format (trace_event) is the least-common-denominator timeline
+// interchange: one {"traceEvents":[...]} document of "X" duration events,
+// "i" instants and "M" metadata records, timestamps in microseconds.  Both
+// chrome://tracing and ui.perfetto.dev load it directly.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fatomic/trace/trace.hpp"
+
+namespace fatomic::detect {
+struct Campaign;
+}
+
+namespace fatomic::trace {
+
+/// One campaign as a Chrome trace_event document.  `process_name` labels the
+/// pid-0 process ("collections", "fatomic", ...); worker ordinals become
+/// tids with thread_name metadata ("driver", "worker 1", ...).
+std::string chrome_trace_json(const Trace& trace,
+                              const std::string& process_name);
+
+/// Several campaigns (e.g. --all) in one document, one pid per campaign so
+/// the viewer shows them as separate processes on a shared timeline.
+std::string chrome_trace_json(
+    const std::vector<std::pair<std::string, Trace>>& traces);
+
+/// Aligned per-kind table (count, total/mean duration, share of campaign
+/// wall-clock) plus the top span-heavy methods — the --trace-summary output.
+std::string trace_summary(const Trace& trace);
+
+/// The "trace" object embedded in campaign_json for traced campaigns:
+/// {"enabled":true,"events":N,"duration_ns":...,"workers":[per-worker stats
+/// rows],"metrics":{...}}.  Worker rows are execution metadata — they vary
+/// between runs of the same campaign — which is why this section only
+/// appears when tracing was requested.
+std::string trace_section_json(const detect::Campaign& campaign);
+
+}  // namespace fatomic::trace

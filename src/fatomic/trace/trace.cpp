@@ -1,0 +1,64 @@
+#include "fatomic/trace/trace.hpp"
+
+#include <sstream>
+
+namespace fatomic::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::Campaign:
+      return "campaign";
+    case EventKind::Baseline:
+      return "baseline";
+    case EventKind::Run:
+      return "run";
+    case EventKind::Injection:
+      return "injection";
+    case EventKind::Snapshot:
+      return "snapshot";
+    case EventKind::PartialCheckpoint:
+      return "partial-checkpoint";
+    case EventKind::PartialFallback:
+      return "partial-fallback";
+    case EventKind::Compare:
+      return "compare";
+    case EventKind::Rollback:
+      return "rollback";
+    case EventKind::PlanLookup:
+      return "plan-lookup";
+    case EventKind::MaskScope:
+      return "mask-scope";
+    case EventKind::Validator:
+      return "validator";
+  }
+  return "?";
+}
+
+std::vector<Event> TraceBuffer::take(std::size_t from) {
+  std::vector<Event> out;
+  if (from >= events_.size()) return out;
+  out.assign(std::make_move_iterator(events_.begin() + from),
+             std::make_move_iterator(events_.end()));
+  events_.resize(from);
+  return out;
+}
+
+std::uint64_t Trace::duration_ns() const {
+  for (auto it = events.rbegin(); it != events.rend(); ++it)
+    if (it->kind == EventKind::Campaign) return it->dur_ns;
+  return 0;
+}
+
+std::string canonical_stream(const Trace& trace) {
+  std::ostringstream os;
+  for (const Event& e : trace.events) {
+    os << to_string(e.kind) << ' ' << e.injection_point << ' '
+       << (e.method != nullptr ? e.method->qualified_name() : "-") << ' '
+       << e.value;
+    if (!e.detail.empty()) os << ' ' << e.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fatomic::trace

@@ -37,6 +37,9 @@ inline void fire_injection_points(const MethodInfo& mi, Runtime& rt) {
       rt.injected = true;
       rt.injected_method = &mi;
       rt.injected_exception = e.type_name;
+      if (rt.trace.enabled())
+        rt.trace.instant(trace::EventKind::Injection, &mi, rt.point,
+                         e.type_name);
       e.raise();
     }
   };
@@ -70,12 +73,18 @@ decltype(auto) masked_call(const MethodInfo& mi, Root& root, Fn&& body,
     // precedes the Reflect specialization — partial_capture/partial_restore
     // have concrete return types, so their trait dispatch happens at the end
     // of the translation unit, after every FAT_REFLECT.
-    if (const snapshot::CheckpointPlan* plan = rt.checkpoint_plan(mi)) {
+    const snapshot::CheckpointPlan* plan = rt.checkpoint_plan(mi);
+    if (rt.trace.enabled())
+      rt.trace.instant(trace::EventKind::PlanLookup, &mi, plan != nullptr);
+    if (plan != nullptr) {
+      const std::uint64_t t0 = rt.trace.begin_span();
       snapshot::PartialSnapshot partial =
           snapshot::partial_capture(root, *plan);
       if (partial.ok) {
         ++rt.stats.partial_checkpoints;
         rt.stats.checkpoint_units += partial.values.size();
+        rt.trace.span(trace::EventKind::PartialCheckpoint, t0, &mi,
+                      partial.values.size());
         snapshot::Snapshot shadow;
         if (rt.validate_checkpoints) shadow = snapshot::capture(root);
         try {
@@ -83,23 +92,32 @@ decltype(auto) masked_call(const MethodInfo& mi, Root& root, Fn&& body,
         } catch (...) {
           snapshot::partial_restore(root, partial, *plan);
           ++rt.stats.rollbacks;
+          rt.trace.instant(trace::EventKind::Rollback, &mi, /*partial=*/1);
           if (rt.validate_checkpoints) {
             snapshot::Snapshot restored = snapshot::capture(root);
-            if (!shadow.equals(restored)) ++rt.stats.validator_divergences;
+            if (!shadow.equals(restored)) {
+              ++rt.stats.validator_divergences;
+              rt.trace.instant(trace::EventKind::Validator, &mi);
+            }
           }
           throw;
         }
       }
       ++rt.stats.partial_fallbacks;
+      rt.trace.instant(trace::EventKind::PartialFallback, &mi);
     }
+    const std::uint64_t t0 = rt.trace.begin_span();
     snapshot::Snapshot checkpoint = snapshot::capture(root);
     ++rt.stats.snapshots_taken;
     rt.stats.checkpoint_units += checkpoint.node_count();
+    rt.trace.span(trace::EventKind::Snapshot, t0, &mi,
+                  checkpoint.node_count());
     try {
       return body();
     } catch (...) {
       snapshot::restore(root, checkpoint);
       ++rt.stats.rollbacks;
+      rt.trace.instant(trace::EventKind::Rollback, &mi, /*partial=*/0);
       throw;
     }
   }
@@ -120,14 +138,18 @@ decltype(auto) injected_call(const MethodInfo& mi, Root& root, Fn&& body,
     explicit DepthGuard(Runtime& r) : rt(r) { ++rt.depth; }
     ~DepthGuard() { --rt.depth; }
   } depth_guard(rt);
+  const std::uint64_t t0 = rt.trace.begin_span();
   snapshot::Snapshot before = snapshot::capture(root);
   ++rt.stats.snapshots_taken;
+  rt.trace.span(trace::EventKind::Snapshot, t0, &mi, before.node_count());
   try {
     return inner();
   } catch (...) {
+    const std::uint64_t c0 = rt.trace.begin_span();
     snapshot::Snapshot after = snapshot::capture(root);
     ++rt.stats.comparisons;
     const bool atomic = before.equals(after);
+    rt.trace.span(trace::EventKind::Compare, c0, &mi, atomic ? 1 : 0);
     std::string detail;
     if (!atomic && rt.record_diffs)
       detail = snapshot::first_difference(before, after);

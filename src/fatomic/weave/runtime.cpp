@@ -34,6 +34,7 @@ void Runtime::begin_run(std::uint64_t threshold) {
   injected_exception.clear();
   depth = 0;
   marks.clear();
+  trace.set_run(threshold);
 }
 
 void Runtime::adopt_config(const Runtime& src) {
@@ -44,6 +45,10 @@ void Runtime::adopt_config(const Runtime& src) {
   plans_ = src.plans_;
   plan_memo_.clear();
   validate_checkpoints = src.validate_checkpoints;
+  if (src.trace.enabled())
+    trace.enable(src.trace.epoch());
+  else
+    trace.disable();
 }
 
 const snapshot::CheckpointPlan* Runtime::checkpoint_plan(const MethodInfo& mi) {

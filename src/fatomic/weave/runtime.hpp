@@ -12,7 +12,7 @@
 // (ScopedRuntime).  A runtime itself is single-threaded — the paper's system
 // "does not explicitly deal with concurrent accesses in multi-threaded
 // programs" (Section 4.4) — but isolated runtimes let independent injection
-// runs execute on separate threads (detect::Options::jobs).
+// runs execute on separate threads (CampaignSettings::jobs).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "fatomic/snapshot/partial.hpp"
+#include "fatomic/trace/trace.hpp"
 #include "fatomic/weave/method_info.hpp"
 
 namespace fatomic::weave {
@@ -178,7 +179,7 @@ class Runtime {
   /// sequences up to the injection, entry k of this vector is the call stack
   /// the injector will see at the injection points fired by the (k+1)-th
   /// wrapped call — the mapping static campaign pruning is built on
-  /// (detect::Options::prune_atomic).
+  /// (CampaignSettings::prune_atomic).
   bool record_call_sites = false;
   std::vector<std::vector<const MethodInfo*>> call_sites;
   void reset_counts() {
@@ -217,6 +218,13 @@ class Runtime {
   bool validate_checkpoints = false;
 
   RuntimeStats stats;
+
+  /// Structured event sink for this runtime's wrappers (trace/trace.hpp).
+  /// Disabled by default; the campaign driver enables it for traced
+  /// campaigns and slices per-run events off it.  Runtimes are per-thread,
+  /// so appends are unsynchronized; adopt_config copies the enabled state
+  /// and epoch (worker ordinals are assigned by the campaign driver).
+  trace::TraceBuffer trace;
 
  private:
   Mode mode_ = Mode::Direct;

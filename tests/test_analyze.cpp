@@ -1,7 +1,7 @@
 // The static analyzer (analyze/): source model, effect pass, exception-flow
 // lint, prune-set soundness.  The cross-check tests are the empirical guard
 // behind feeding analyze::StaticReport::prune_set into
-// detect::Options::prune_atomic — on every subject family the pruned
+// fatomic::Config::prune_atomic — on every subject family the pruned
 // campaign must classify identically to the full one (DESIGN.md §7).
 #include <gtest/gtest.h>
 
@@ -176,7 +176,7 @@ TEST_F(AnalyzeCrossCheck, Net) { expect_identical(run_net); }
 
 TEST_F(AnalyzeCrossCheck, PrunedParallelMatchesPrunedSequential) {
   auto run = [&](unsigned jobs) {
-    detect::Options opts;
+    detect::CampaignSettings opts;
     opts.jobs = jobs;
     opts.prune_atomic = static_report().prune_set();
     return detect::Experiment(subjects::apps::run_linked_list_fixed, opts)

@@ -1,0 +1,141 @@
+// fatomic::Config — the unified builder must reproduce the legacy knob
+// structs exactly, and the deprecated adapters must keep compiling (they
+// survive one release as migration shims).
+#include "fatomic/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "fatomic/detect/classify.hpp"
+#include "fatomic/detect/experiment.hpp"
+#include "fatomic/mask/masker.hpp"
+#include "fatomic/report/json.hpp"
+#include "testing/synthetic.hpp"
+
+namespace detect = fatomic::detect;
+namespace report = fatomic::report;
+namespace weave = fatomic::weave;
+
+namespace {
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    auto& rt = weave::Runtime::instance();
+    rt.set_mode(weave::Mode::Direct);
+    rt.set_wrap_predicate(nullptr);
+    rt.trace.disable();
+  }
+};
+
+}  // namespace
+
+TEST_F(ConfigTest, BuilderSettersChainAndGettersReflect) {
+  fatomic::Config cfg;
+  cfg.jobs(8)
+      .max_runs(42)
+      .record_diffs(true)
+      .validate_checkpoints(true)
+      .prune_atomic({"A::f"})
+      .exception_free("A::g")
+      .no_wrap("A::h")
+      .tracing(true);
+  EXPECT_EQ(cfg.jobs(), 8u);
+  EXPECT_TRUE(cfg.tracing());
+  EXPECT_FALSE(cfg.masked());
+  const detect::CampaignSettings& s = cfg.campaign_settings();
+  EXPECT_EQ(s.max_runs, 42u);
+  EXPECT_TRUE(s.record_diffs);
+  EXPECT_TRUE(s.validate_checkpoints);
+  EXPECT_EQ(s.prune_atomic, (std::set<std::string>{"A::f"}));
+  EXPECT_TRUE(s.trace);
+  EXPECT_EQ(cfg.policy().exception_free.count("A::g"), 1u);
+  EXPECT_EQ(cfg.policy().no_wrap.count("A::h"), 1u);
+}
+
+TEST_F(ConfigTest, MaskInstallsPredicateAndFlipsMasked) {
+  fatomic::Config cfg;
+  cfg.mask([](const weave::MethodInfo&) { return true; });
+  EXPECT_TRUE(cfg.masked());
+  EXPECT_TRUE(cfg.campaign_settings().masked);
+  ASSERT_TRUE(static_cast<bool>(cfg.campaign_settings().wrap));
+}
+
+TEST_F(ConfigTest, ConfigCampaignMatchesSettingsCampaign) {
+  fatomic::Config cfg;
+  cfg.jobs(2);
+  detect::Campaign via_config =
+      detect::Experiment(synthetic::workload, cfg).run();
+
+  detect::CampaignSettings settings;
+  settings.jobs = 2;
+  detect::Campaign via_settings =
+      detect::Experiment(synthetic::workload, settings).run();
+
+  EXPECT_EQ(report::campaign_json(via_config),
+            report::campaign_json(via_settings));
+}
+
+TEST_F(ConfigTest, PolicyFlowsIntoClassification) {
+  fatomic::Config cfg;
+  cfg.exception_free("synthetic::Account::helper");
+  detect::Campaign c = detect::Experiment(synthetic::workload, cfg).run();
+  // The policy is carried by the config, not the campaign — classify with it.
+  auto with = detect::classify(c, cfg.policy());
+  auto without = detect::classify(c);
+  EXPECT_LE(with.nonatomic_names().size(), without.nonatomic_names().size());
+}
+
+TEST_F(ConfigTest, ConfigDrivenMaskVerification) {
+  auto cls = detect::classify(detect::Experiment(synthetic::workload).run());
+  fatomic::Config cfg;
+  cfg.jobs(2).mask(fatomic::mask::wrap_pure(cls));
+  const auto verified =
+      fatomic::mask::verify_masked_full(synthetic::workload, cfg);
+  EXPECT_TRUE(verified.classification.nonatomic_names().empty());
+}
+
+TEST_F(ConfigTest, ConfigMaskVerificationMatchesLegacyPath) {
+  auto cls = detect::classify(detect::Experiment(synthetic::workload).run());
+  auto wrap = fatomic::mask::wrap_pure(cls);
+
+  fatomic::Config cfg;
+  cfg.mask(wrap);
+  const auto via_config =
+      fatomic::mask::verify_masked_full(synthetic::workload, cfg);
+  const auto via_legacy =
+      fatomic::mask::verify_masked_full(synthetic::workload, wrap);
+  EXPECT_EQ(report::campaign_json(via_config.campaign),
+            report::campaign_json(via_legacy.campaign));
+}
+
+// The deprecated adapters must stay source- and behaviour-compatible for one
+// release; this is the only translation unit that intentionally uses them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST_F(ConfigTest, DeprecatedOptionsAdapterStillWorks) {
+  detect::Options opts;
+  opts.jobs = 2;
+  detect::Campaign via_adapter =
+      detect::Experiment(synthetic::workload, opts).run();
+  detect::Campaign via_config =
+      detect::Experiment(synthetic::workload, fatomic::Config().jobs(2)).run();
+  EXPECT_EQ(report::campaign_json(via_adapter),
+            report::campaign_json(via_config));
+}
+
+TEST_F(ConfigTest, DeprecatedMaskOptionsAdapterStillWorks) {
+  auto cls = detect::classify(detect::Experiment(synthetic::workload).run());
+  auto wrap = fatomic::mask::wrap_pure(cls);
+  fatomic::mask::MaskOptions opts;
+  opts.jobs = 2;
+  const auto verified =
+      fatomic::mask::verify_masked_full(synthetic::workload, wrap, {}, opts);
+  EXPECT_TRUE(verified.classification.nonatomic_names().empty());
+}
+
+#pragma GCC diagnostic pop

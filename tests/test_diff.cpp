@@ -105,7 +105,7 @@ TEST(Diff, CyclicGraphsTerminate) {
 }
 
 TEST(Diff, RecordedInCampaignMarks) {
-  fatomic::detect::Options opts;
+  fatomic::detect::CampaignSettings opts;
   opts.record_diffs = true;
   fatomic::detect::Experiment exp(synthetic::workload, opts);
   auto cls = fatomic::detect::classify(exp.run());

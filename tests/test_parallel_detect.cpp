@@ -1,4 +1,4 @@
-// Parallel injection campaigns (detect::Options::jobs): a campaign sharded
+// Parallel injection campaigns (CampaignSettings::jobs): a campaign sharded
 // across worker threads with isolated thread-local runtimes must reproduce
 // the sequential campaign bit for bit — runs, marks, classification, report
 // JSON and aggregated stats — on real subjects.  Also covers the
@@ -56,10 +56,10 @@ void expect_same_campaign(const detect::Campaign& seq,
 void expect_parallel_matches_sequential(const std::string& app_name) {
   const auto& app = subjects::apps::app(app_name);
 
-  detect::Options seq_opts;
+  detect::CampaignSettings seq_opts;
   detect::Campaign seq = detect::Experiment(app.program, seq_opts).run();
 
-  detect::Options par_opts;
+  detect::CampaignSettings par_opts;
   par_opts.jobs = 4;
   detect::Campaign par = detect::Experiment(app.program, par_opts).run();
 
@@ -90,7 +90,7 @@ TEST_F(ParallelDetectTest, XmlSubjectIsDeterministic) {
 
 TEST_F(ParallelDetectTest, SyntheticWorkloadIsDeterministic) {
   detect::Campaign seq = detect::Experiment(synthetic::workload).run();
-  detect::Options par_opts;
+  detect::CampaignSettings par_opts;
   par_opts.jobs = 8;
   detect::Campaign par =
       detect::Experiment(synthetic::workload, par_opts).run();
@@ -98,7 +98,7 @@ TEST_F(ParallelDetectTest, SyntheticWorkloadIsDeterministic) {
 }
 
 TEST_F(ParallelDetectTest, JobsZeroMeansHardwareConcurrency) {
-  detect::Options opts;
+  detect::CampaignSettings opts;
   opts.jobs = 0;
   detect::Campaign par = detect::Experiment(synthetic::workload, opts).run();
   detect::Campaign seq = detect::Experiment(synthetic::workload).run();
@@ -117,11 +117,11 @@ TEST_F(ParallelDetectTest, MaskedParallelVerificationMatchesSequential) {
 }
 
 TEST_F(ParallelDetectTest, MaxRunsCutoffAppliesInParallel) {
-  detect::Options seq_opts;
+  detect::CampaignSettings seq_opts;
   seq_opts.max_runs = 7;
   detect::Campaign seq =
       detect::Experiment(synthetic::workload, seq_opts).run();
-  detect::Options par_opts;
+  detect::CampaignSettings par_opts;
   par_opts.max_runs = 7;
   par_opts.jobs = 4;
   detect::Campaign par =
@@ -157,7 +157,7 @@ TEST_F(ParallelDetectTest, TerminalEscapedRunIsRecorded) {
 }
 
 TEST_F(ParallelDetectTest, TerminalEscapedRunIsRecordedInParallel) {
-  detect::Options opts;
+  detect::CampaignSettings opts;
   opts.jobs = 4;
   detect::Campaign par = detect::Experiment(escaping_workload, opts).run();
   detect::Campaign seq = detect::Experiment(escaping_workload).run();
@@ -177,7 +177,7 @@ TEST_F(ParallelDetectTest, MaskedExperimentRestoresOuterWrapPredicate) {
     return mi.method_name() == "set";
   });
 
-  detect::Options opts;
+  detect::CampaignSettings opts;
   opts.masked = true;
   opts.wrap = [](const weave::MethodInfo&) { return true; };
   detect::Experiment(synthetic::workload, opts).run();

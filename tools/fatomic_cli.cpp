@@ -1,18 +1,23 @@
 // fatomic_cli — command-line driver over the subject applications: run
-// detection campaigns, print the paper-style reports, emit JSON/CSV/dot, and
-// verify masking.  The programmatic stand-in for the paper's web interface.
+// detection campaigns, print the paper-style reports, emit JSON/CSV/dot,
+// verify masking, and export structured traces.  The programmatic stand-in
+// for the paper's web interface.
 //
 // Usage:
 //   fatomic_cli --list
 //   fatomic_cli --app LinkedList [--details] [--json] [--dot] [--suggest]
 //   fatomic_cli --app HashedMap --mask-verify
-//   fatomic_cli --app LinkedList --exception-free Class::method --details
-//   fatomic_cli --all [--language C++|Java] [--csv]
+//   fatomic_cli --app LinkedList --trace-out trace.json --trace-summary
+//   fatomic_cli --all [--language C++|Java] [--csv] [--trace-out trace.json]
+//   fatomic_cli --all --out-dir artifacts/
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fatomic/fatomic.hpp"
@@ -20,6 +25,7 @@
 
 namespace detect = fatomic::detect;
 namespace report = fatomic::report;
+namespace trace = fatomic::trace;
 
 namespace {
 
@@ -45,50 +51,79 @@ struct Args {
   bool write_sets = false;
   bool mask_partial = false;
   bool validate_checkpoints = false;
+  std::string trace_out;
+  bool trace_summary = false;
+  bool metrics = false;
+  std::string out_dir;
   bool help = false;
+
+  /// Any trace exporter requested — flips Config::tracing on.
+  bool want_trace() const {
+    return !trace_out.empty() || trace_summary || metrics;
+  }
 };
 
 int usage(int code) {
   std::cout <<
       "fatomic_cli -- detection/masking campaigns over the subject apps\n"
+      "\n"
+      "selection:\n"
       "  --list                 list the available applications\n"
       "  --app NAME             run a campaign for one application\n"
       "  --all                  run campaigns for every application\n"
+      "  --language L           with --all: restrict to suite 'C++'/'Java'\n"
+      "\n"
+      "detect (injection campaign):\n"
       "  --jobs N               run each campaign's injector runs on N\n"
       "                         worker threads (0 = one per hardware\n"
       "                         thread); results are identical to --jobs 1\n"
-      "  --language L           with --all: restrict to suite 'C++'/'Java'\n"
-      "  --details              per-method classification table\n"
-      "  --json                 classification + campaign as JSON\n"
-      "  --dot                  dynamic call graph as Graphviz dot\n"
-      "  --suggest              suggest exception-free declarations\n"
-      "  --exception-free M     declare method M exception-free (repeatable)\n"
-      "  --mask-verify          mask pure methods and re-verify (exit != 0\n"
-      "                         when non-atomic methods remain)\n"
-      "  --diffs                attach a graph-diff example to each\n"
-      "                         non-atomic method in --details output\n"
-      "  --csv                  with --all: CSV summary\n"
-      "  --analyze              static effect analysis of the subject\n"
-      "                         sources (per-method verdict table; with\n"
-      "                         --json: static_analysis report section)\n"
-      "  --lint                 cross-check observed exception types against\n"
-      "                         the declared FAT_THROWS sets (exit != 0 on\n"
-      "                         undeclared exceptions; works with --all)\n"
       "  --prune-static         skip injections at thresholds whose stacks\n"
       "                         are statically proven failure atomic\n"
       "  --cross-check          run full and pruned campaigns, verify the\n"
       "                         classifications are identical (exit != 0\n"
       "                         on divergence); with --all: gate over every\n"
       "                         subject family including hidden demos\n"
+      "  --diffs                attach a graph-diff example to each\n"
+      "                         non-atomic method in --details output\n"
+      "  --exception-free M     declare method M exception-free (repeatable)\n"
+      "\n"
+      "analyze (static passes):\n"
+      "  --analyze              static effect analysis of the subject\n"
+      "                         sources (per-method verdict table; with\n"
+      "                         --json: static_analysis report section)\n"
+      "  --lint                 cross-check observed exception types against\n"
+      "                         the declared FAT_THROWS sets (exit != 0 on\n"
+      "                         undeclared exceptions; works with --all)\n"
       "  --write-sets           print the write-set analysis' per-method\n"
       "                         checkpoint plans (usable without --app)\n"
+      "\n"
+      "mask (correction + verification):\n"
+      "  --mask-verify          mask pure methods and re-verify (exit != 0\n"
+      "                         when non-atomic methods remain)\n"
       "  --mask-partial         with --mask-verify: field-granular\n"
       "                         checkpoints from the write-set analysis\n"
       "  --validate-checkpoints shadow every partial checkpoint with a full\n"
       "                         one and diff after rollback (exit != 0 on\n"
       "                         any divergence)\n"
       "  --no-wrap M            exclude method M from masking (repeatable;\n"
-      "                         unknown names are warned about)\n";
+      "                         unknown names are warned about)\n"
+      "\n"
+      "report (exporters):\n"
+      "  --details              per-method classification table\n"
+      "  --json                 classification + campaign as JSON\n"
+      "  --dot                  dynamic call graph as Graphviz dot\n"
+      "  --csv                  with --all: CSV summary\n"
+      "  --suggest              suggest exception-free declarations\n"
+      "  --out-dir DIR          write every requested exporter's output to\n"
+      "                         files under DIR instead of stdout\n"
+      "\n"
+      "trace (campaign observability; any of these enables tracing):\n"
+      "  --trace-out FILE       Chrome/Perfetto trace_event JSON of the\n"
+      "                         campaign (with --all: one combined file,\n"
+      "                         one pid per application)\n"
+      "  --trace-summary        per-event-kind timing table on stdout\n"
+      "  --metrics              named counters and latency histograms\n"
+      "                         derived from the campaign and its trace\n";
   return code;
 }
 
@@ -130,6 +165,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.mask_partial = true;
     } else if (a == "--validate-checkpoints") {
       args.validate_checkpoints = true;
+    } else if (a == "--trace-summary") {
+      args.trace_summary = true;
+    } else if (a == "--metrics") {
+      args.metrics = true;
     } else if (a == "--help" || a == "-h") {
       args.help = true;
     } else if (a == "--app") {
@@ -140,6 +179,14 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.language = v;
+    } else if (a == "--trace-out") {
+      const char* v = value();
+      if (!v) return false;
+      args.trace_out = v;
+    } else if (a == "--out-dir") {
+      const char* v = value();
+      if (!v) return false;
+      args.out_dir = v;
     } else if (a == "--jobs") {
       const char* v = value();
       if (!v) return false;
@@ -166,20 +213,55 @@ bool parse(int argc, char** argv, Args& args) {
   return true;
 }
 
+/// The unified Config every pipeline entry point below consumes.
+fatomic::Config make_config(const Args& args,
+                            const std::set<std::string>* prune = nullptr) {
+  fatomic::Config cfg;
+  cfg.jobs(args.jobs).record_diffs(args.diffs).tracing(args.want_trace());
+  if (prune != nullptr) cfg.prune_atomic(*prune);
+  for (const auto& m : args.exception_free) cfg.exception_free(m);
+  for (const auto& m : args.no_wrap) cfg.no_wrap(m);
+  return cfg;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::cerr << "error: cannot write " << path << '\n';
+    return false;
+  }
+  os << content;
+  return true;
+}
+
+/// Resolves an exporter file name: relative names land under --out-dir when
+/// one was given.
+std::string out_path(const Args& args, const std::string& name) {
+  if (args.out_dir.empty() || std::filesystem::path(name).is_absolute())
+    return name;
+  return (std::filesystem::path(args.out_dir) / name).string();
+}
+
+/// Routes one exporter artifact: to a file under --out-dir when set (named
+/// `filename`), to stdout otherwise.
+void emit(const Args& args, const std::string& filename,
+          const std::string& content) {
+  if (args.out_dir.empty()) {
+    std::cout << '\n' << content;
+    if (!content.empty() && content.back() != '\n') std::cout << '\n';
+  } else if (write_file(out_path(args, filename), content)) {
+    std::cout << "wrote " << out_path(args, filename) << '\n';
+  }
+}
+
 report::AppResult run_campaign(const subjects::apps::App& app,
-                               const detect::Policy& policy, unsigned jobs,
-                               bool record_diffs = false,
-                               const std::set<std::string>* prune = nullptr) {
-  detect::Options opts;
-  opts.jobs = jobs;
-  opts.record_diffs = record_diffs;
-  if (prune != nullptr) opts.prune_atomic = *prune;
-  detect::Experiment exp(app.program, std::move(opts));
+                               const fatomic::Config& config) {
+  detect::Experiment exp(app.program, config);
   report::AppResult r;
   r.name = app.name;
   r.language = app.language;
   r.campaign = exp.run();
-  r.classification = detect::classify(r.campaign, policy);
+  r.classification = detect::classify(r.campaign, config.policy());
   return r;
 }
 
@@ -202,11 +284,23 @@ int print_lint(const std::string& app_name, const detect::Campaign& campaign) {
   return 3;
 }
 
+/// Trace/metrics exporters shared by run_one and the per-app --all loop.
+void emit_trace_outputs(const Args& args, const report::AppResult& result) {
+  if (args.trace_summary)
+    std::cout << '\n'
+              << result.name << ":\n"
+              << trace::trace_summary(result.campaign.trace);
+  if (args.metrics) {
+    const auto registry = trace::campaign_metrics(result.campaign);
+    if (args.out_dir.empty())
+      std::cout << '\n' << result.name << ":\n" << registry.to_text();
+    else
+      emit(args, result.name + "_metrics.json", registry.to_json());
+  }
+}
+
 int run_one(const Args& args) {
   const auto& app = subjects::apps::app(args.app);
-  detect::Policy policy;
-  for (const auto& m : args.exception_free) policy.exception_free.insert(m);
-  for (const auto& m : args.no_wrap) policy.no_wrap.insert(m);
 
   const bool need_static = args.analyze || args.prune_static ||
                            args.cross_check || args.write_sets ||
@@ -230,9 +324,9 @@ int run_one(const Args& args) {
 
   const std::set<std::string> prune =
       args.prune_static ? sreport.prune_set() : std::set<std::string>{};
-  report::AppResult result =
-      run_campaign(app, policy, args.jobs, args.diffs,
-                   args.prune_static ? &prune : nullptr);
+  fatomic::Config config =
+      make_config(args, args.prune_static ? &prune : nullptr);
+  report::AppResult result = run_campaign(app, config);
   const auto& cls = result.classification;
 
   std::cout << app.name << " (" << app.language << "): "
@@ -251,19 +345,31 @@ int run_one(const Args& args) {
 
   if (args.details) std::cout << '\n' << report::method_details(result);
   if (args.json) {
-    std::cout << '\n' << report::classification_json(cls) << '\n';
+    emit(args, app.name + "_classification.json",
+         report::classification_json(cls));
     if (args.analyze)
-      std::cout << report::campaign_json(result.campaign, cls, sreport)
-                << '\n';
-    else if (!policy.no_wrap.empty() || !policy.exception_free.empty())
-      std::cout << report::campaign_json(result.campaign, policy) << '\n';
+      emit(args, app.name + "_campaign.json",
+           report::campaign_json(result.campaign, cls, sreport));
+    else if (!config.policy().no_wrap.empty() ||
+             !config.policy().exception_free.empty())
+      emit(args, app.name + "_campaign.json",
+           report::campaign_json(result.campaign, config.policy()));
     else
-      std::cout << report::campaign_json(result.campaign) << '\n';
+      emit(args, app.name + "_campaign.json",
+           report::campaign_json(result.campaign));
   }
   if (args.dot) {
     auto graph = detect::CallGraph::from(result.campaign);
-    std::cout << '\n' << graph.to_dot(&cls);
+    emit(args, app.name + "_callgraph.dot", graph.to_dot(&cls));
   }
+  if (!args.trace_out.empty()) {
+    const std::string path = out_path(args, args.trace_out);
+    if (write_file(path,
+                   trace::chrome_trace_json(result.campaign.trace, app.name)))
+      std::cout << "wrote " << path << " (" << result.campaign.trace.events.size()
+                << " events)\n";
+  }
+  emit_trace_outputs(args, result);
   if (args.suggest) {
     std::cout << "\nexception-free candidates (each fully explains the "
                  "non-atomicity of at least one method):\n";
@@ -271,12 +377,13 @@ int run_one(const Args& args) {
       std::cout << "  " << site << '\n';
   }
   if (args.mask_verify) {
-    fatomic::mask::MaskOptions options;
-    options.jobs = args.jobs;
-    options.validate = args.validate_checkpoints;
-    if (args.mask_partial) options.plans = fatomic::mask::make_plans(sreport);
-    const auto verified = fatomic::mask::verify_masked_full(
-        app.program, fatomic::mask::wrap_pure(cls, policy), policy, options);
+    fatomic::Config verify_config = config;
+    verify_config.mask(fatomic::mask::wrap_pure(cls, config.policy()))
+        .validate_checkpoints(args.validate_checkpoints);
+    if (args.mask_partial)
+      verify_config.checkpoint_plans(fatomic::mask::make_plans(sreport));
+    const auto verified =
+        fatomic::mask::verify_masked_full(app.program, verify_config);
     const auto remaining = verified.classification.nonatomic_names();
     std::cout << "\nmask verification: " << remaining.size()
               << " non-atomic methods remain\n";
@@ -326,14 +433,33 @@ int run_all(const Args& args) {
     return status;
   }
 
+  const fatomic::Config config = make_config(args);
   std::vector<report::AppResult> results;
+  std::vector<std::pair<std::string, trace::Trace>> traces;
   int lint_status = 0;
   for (const auto& app : subjects::apps::all_apps()) {
     if (!args.language.empty() && app.language != args.language) continue;
-    results.push_back(run_campaign(app, detect::Policy{}, args.jobs));
+    results.push_back(run_campaign(app, config));
+    const auto& result = results.back();
     if (args.lint)
-      lint_status =
-          std::max(lint_status, print_lint(app.name, results.back().campaign));
+      lint_status = std::max(lint_status, print_lint(app.name, result.campaign));
+    if (!args.trace_out.empty())
+      traces.emplace_back(app.name, result.campaign.trace);
+    if (args.json && !args.out_dir.empty()) {
+      emit(args, app.name + "_classification.json",
+           report::classification_json(result.classification));
+      emit(args, app.name + "_campaign.json",
+           report::campaign_json(result.campaign));
+    }
+    emit_trace_outputs(args, result);
+  }
+  if (!args.trace_out.empty()) {
+    const std::string path = out_path(args, args.trace_out);
+    std::size_t events = 0;
+    for (const auto& [name, t] : traces) events += t.events.size();
+    if (write_file(path, trace::chrome_trace_json(traces)))
+      std::cout << "wrote " << path << " (" << traces.size() << " apps, "
+                << events << " events)\n";
   }
   if (args.lint) return lint_status;
   std::cout << report::table1(results) << '\n';
@@ -342,7 +468,7 @@ int run_all(const Args& args) {
   std::cout << report::figure_calls(results, "classification by calls")
             << '\n';
   std::cout << report::figure_classes(results, "class distribution") << '\n';
-  if (args.csv) std::cout << report::to_csv(results);
+  if (args.csv) emit(args, "all_summary.csv", report::to_csv(results));
   return 0;
 }
 
@@ -358,6 +484,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    if (!args.out_dir.empty())
+      std::filesystem::create_directories(args.out_dir);
     if (args.all) return run_all(args);
     if (!args.app.empty()) return run_one(args);
     if (args.write_sets) {
