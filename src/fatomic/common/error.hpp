@@ -25,6 +25,16 @@ class SnapshotError : public FatomicError {
   explicit SnapshotError(const std::string& what) : FatomicError(what) {}
 };
 
+/// Raised when a rollback fails *mid-replay* (e.g. a container resize threw
+/// while rebuilding the checkpointed graph).  The receiver may be partially
+/// restored; campaigns surface the count as stats.restore_errors so a
+/// corrupted-rollback run is never silently classified.  Derives from
+/// SnapshotError, so existing catch sites keep working.
+class RestoreError : public SnapshotError {
+ public:
+  explicit RestoreError(const std::string& what) : SnapshotError(what) {}
+};
+
 /// Raised on misuse of the weaving runtime (bad mode transitions, missing
 /// wrap predicate, ...).
 class WeaveError : public FatomicError {

@@ -65,11 +65,19 @@ class Config {
     return *this;
   }
   /// Shadow every partial checkpoint with a full one and count rollback
-  /// divergences (stats.validator_divergences).
+  /// divergences (stats.validator_divergences).  Under the arena backend
+  /// this also cross-checks arena captures/verdicts against the graph
+  /// backend.
   Config& validate_checkpoints(bool on = true) {
     settings_.validate_checkpoints = on;
     return *this;
   }
+  /// Selects the full-checkpoint backend the wrappers use (DESIGN.md §10).
+  Config& checkpoint_backend(snapshot::BackendKind kind) {
+    settings_.backend = kind;
+    return *this;
+  }
+  snapshot::BackendKind checkpoint_backend() const { return settings_.backend; }
 
   // --- static pruning -----------------------------------------------------
   /// Qualified names statically proven failure atomic; thresholds whose

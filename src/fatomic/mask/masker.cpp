@@ -61,7 +61,8 @@ MaskedScope::MaskedScope(weave::Runtime::WrapPredicate wrap)
     : mode_(weave::Mode::Mask),
       saved_(weave::Runtime::instance().wrap_predicate()),
       saved_plans_(weave::Runtime::instance().checkpoint_plans()),
-      saved_validate_(weave::Runtime::instance().validate_checkpoints) {
+      saved_validate_(weave::Runtime::instance().validate_checkpoints),
+      saved_backend_(weave::Runtime::instance().checkpoint_backend) {
   auto& rt = weave::Runtime::instance();
   rt.set_wrap_predicate(std::move(wrap));
   rt.trace.instant(trace::EventKind::MaskScope, nullptr, /*entered=*/1);
@@ -69,11 +70,12 @@ MaskedScope::MaskedScope(weave::Runtime::WrapPredicate wrap)
 
 MaskedScope::MaskedScope(weave::Runtime::WrapPredicate wrap,
                          std::shared_ptr<const weave::PlanMap> plans,
-                         bool validate)
+                         bool validate, snapshot::BackendKind backend)
     : MaskedScope(std::move(wrap)) {
   auto& rt = weave::Runtime::instance();
   rt.set_checkpoint_plans(std::move(plans));
   rt.validate_checkpoints = validate;
+  rt.checkpoint_backend = backend;
 }
 
 MaskedScope::~MaskedScope() {
@@ -82,6 +84,7 @@ MaskedScope::~MaskedScope() {
   rt.set_wrap_predicate(std::move(saved_));
   rt.set_checkpoint_plans(std::move(saved_plans_));
   rt.validate_checkpoints = saved_validate_;
+  rt.checkpoint_backend = saved_backend_;
 }
 
 MaskVerification verify_masked_full(std::function<void()> program,
@@ -95,6 +98,7 @@ MaskVerification verify_masked_full(std::function<void()> program,
   opts.checkpoint_plans = options.plans;
   opts.validate_checkpoints = options.validate;
   opts.trace = options.trace;
+  opts.backend = options.backend;
   detect::Experiment exp(std::move(program), std::move(opts));
   MaskVerification out;
   out.campaign = exp.run();
@@ -110,6 +114,7 @@ MaskVerification verify_masked_full(std::function<void()> program,
   options.validate = s.validate_checkpoints;
   options.jobs = s.jobs;
   options.trace = s.trace;
+  options.backend = s.backend;
   return verify_masked_full(std::move(program), s.wrap, config.policy(),
                             options);
 }

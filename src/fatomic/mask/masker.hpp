@@ -45,11 +45,13 @@ std::shared_ptr<const weave::PlanMap> make_plans(
 class MaskedScope {
  public:
   explicit MaskedScope(weave::Runtime::WrapPredicate wrap);
-  /// P_C with field-granular checkpoints: additionally installs `plans` and
-  /// the completeness-validator flag for the scope's lifetime.
+  /// P_C with field-granular checkpoints: additionally installs `plans`,
+  /// the completeness-validator flag and the full-checkpoint backend for
+  /// the scope's lifetime.
   MaskedScope(weave::Runtime::WrapPredicate wrap,
               std::shared_ptr<const weave::PlanMap> plans,
-              bool validate = false);
+              bool validate = false,
+              snapshot::BackendKind backend = snapshot::default_backend());
   ~MaskedScope();
   MaskedScope(const MaskedScope&) = delete;
   MaskedScope& operator=(const MaskedScope&) = delete;
@@ -59,6 +61,7 @@ class MaskedScope {
   weave::Runtime::WrapPredicate saved_;
   std::shared_ptr<const weave::PlanMap> saved_plans_;
   bool saved_validate_;
+  snapshot::BackendKind saved_backend_;
 };
 
 /// Checkpointing configuration for a mask-verify campaign.  Like
@@ -77,6 +80,8 @@ struct VerifySettings {
   /// Record the structured event trace of the verification campaign
   /// (Campaign::trace).
   bool trace = false;
+  /// Full-checkpoint backend for the verification campaign (DESIGN.md §10).
+  snapshot::BackendKind backend = snapshot::default_backend();
 };
 
 /// Deprecated spelling of VerifySettings, kept as a thin adapter for one

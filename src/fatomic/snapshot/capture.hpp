@@ -42,8 +42,13 @@ Prim to_prim(const T& v) {
     return static_cast<std::int64_t>(v);
   } else if constexpr (std::is_integral_v<T>) {
     return static_cast<std::uint64_t>(v);
+  } else if constexpr (std::is_same_v<T, float>) {
+    // Bitwise, not widened: float->double conversion canonicalizes NaN
+    // payloads and loses denormal identity, which would make two distinct
+    // states compare equal (state identity, node.hpp).
+    return F32Bits{std::bit_cast<std::uint32_t>(v)};
   } else if constexpr (std::is_floating_point_v<T>) {
-    return static_cast<double>(v);
+    return F64Bits{std::bit_cast<std::uint64_t>(static_cast<double>(v))};
   } else {
     static_assert(std::is_same_v<T, std::string>);
     return v;
@@ -72,8 +77,16 @@ struct AliasKey {
 
 struct AliasKeyHash {
   std::size_t operator()(const AliasKey& k) const {
-    return std::hash<const void*>{}(k.addr) ^
-           (std::hash<std::string_view>{}(k.type_name) << 1);
+    // Proper hash combine (golden-ratio mix, same recipe as node.cpp).  The
+    // old `hash(addr) ^ (hash(type) << 1)` folded the two hashes linearly:
+    // subobjects sharing a base address — the common case for first-member
+    // structs and every map entry — collided whenever the type-hash
+    // difference happened to cancel the address difference, degrading the
+    // alias map to a linked list on large graphs.
+    std::size_t seed = std::hash<const void*>{}(k.addr);
+    seed ^= std::hash<std::string_view>{}(k.type_name) +
+            0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+    return seed;
   }
 };
 

@@ -14,7 +14,8 @@ struct PrimPrinter {
   void operator()(char v) { os << '\'' << v << '\''; }
   void operator()(std::int64_t v) { os << v; }
   void operator()(std::uint64_t v) { os << v; }
-  void operator()(double v) { os << v; }
+  void operator()(F32Bits v) { os << v.value(); }
+  void operator()(F64Bits v) { os << v.value(); }
   void operator()(const std::string& v) { os << '"' << v << '"'; }
 };
 

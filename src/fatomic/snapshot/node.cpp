@@ -33,7 +33,8 @@ struct PrimPrinter {
   void operator()(char v) { os << '\'' << v << '\''; }
   void operator()(std::int64_t v) { os << v; }
   void operator()(std::uint64_t v) { os << v << 'u'; }
-  void operator()(double v) { os << v; }
+  void operator()(F32Bits v) { os << v.value() << 'f'; }
+  void operator()(F64Bits v) { os << v.value(); }
   void operator()(const std::string& v) { os << '"' << v << '"'; }
 };
 
@@ -46,7 +47,12 @@ struct PrimHasher {
   std::size_t operator()(std::uint64_t v) const {
     return std::hash<std::uint64_t>{}(v);
   }
-  std::size_t operator()(double v) const { return std::hash<double>{}(v); }
+  std::size_t operator()(F32Bits v) const {
+    return std::hash<std::uint32_t>{}(v.bits);
+  }
+  std::size_t operator()(F64Bits v) const {
+    return std::hash<std::uint64_t>{}(v.bits);
+  }
   std::size_t operator()(const std::string& v) const {
     return std::hash<std::string>{}(v);
   }

@@ -9,6 +9,7 @@
 // table comparison.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -19,11 +20,29 @@ namespace fatomic::snapshot {
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
 
+/// Floating-point leaves stored by bit pattern.  Rollback equality is the
+/// paper's *state identity*, not numeric equality: two distinct NaN
+/// payloads, -0.0 vs +0.0, or a denormal that would be flushed by a
+/// float->double round trip are different states and must compare as such.
+/// The wrappers keep the exact 32/64-bit image and compare it verbatim.
+struct F32Bits {
+  std::uint32_t bits = 0;
+  float value() const { return std::bit_cast<float>(bits); }
+  friend bool operator==(const F32Bits&, const F32Bits&) = default;
+};
+
+struct F64Bits {
+  std::uint64_t bits = 0;
+  double value() const { return std::bit_cast<double>(bits); }
+  friend bool operator==(const F64Bits&, const F64Bits&) = default;
+};
+
 /// Canonical storage for primitive leaves.  All signed integral types map to
-/// int64_t, unsigned to uint64_t, floating point to double; this keeps
-/// comparison exact while bounding the variant size.
-using Prim =
-    std::variant<bool, char, std::int64_t, std::uint64_t, double, std::string>;
+/// int64_t, unsigned to uint64_t, floating point to a bitwise image (F32Bits
+/// for float, F64Bits for everything wider); this keeps comparison exact
+/// while bounding the variant size.
+using Prim = std::variant<bool, char, std::int64_t, std::uint64_t, F32Bits,
+                          F64Bits, std::string>;
 
 enum class NodeKind : std::uint8_t {
   Primitive,    ///< leaf value
@@ -87,6 +106,7 @@ class Snapshot {
 
  private:
   friend class Builder;
+  friend class ArenaSnapshot;  // decode() rebuilds a node table (arena.cpp)
   std::vector<Node> nodes_;
   NodeId root_ = kInvalidNode;
 };

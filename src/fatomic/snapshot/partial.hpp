@@ -71,8 +71,10 @@ void from_prim(T& dst, const Prim& v) {
     dst = static_cast<T>(std::get<std::int64_t>(v));
   } else if constexpr (std::is_integral_v<T>) {
     dst = static_cast<T>(std::get<std::uint64_t>(v));
+  } else if constexpr (std::is_same_v<T, float>) {
+    dst = std::get<F32Bits>(v).value();
   } else if constexpr (std::is_floating_point_v<T>) {
-    dst = static_cast<T>(std::get<double>(v));
+    dst = static_cast<T>(std::get<F64Bits>(v).value());
   } else {
     static_assert(std::is_same_v<T, std::string>);
     dst = std::get<std::string>(v);

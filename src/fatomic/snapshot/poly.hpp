@@ -17,6 +17,7 @@
 
 namespace fatomic::snapshot {
 
+class ArenaEncoder;
 class Builder;
 class Restorer;
 
@@ -28,6 +29,8 @@ struct PolyOps {
   void* (*create)();  // new Derived, returned as Base*
   void (*restore)(void* base_ptr, Restorer& r, NodeId object_node);
   void (*destroy)(void* base_ptr);
+  /// Arena-backend counterpart of `capture` (arena.hpp).
+  NodeId (*encode)(const void* base_ptr, ArenaEncoder& e);
 };
 
 class PolyRegistry {

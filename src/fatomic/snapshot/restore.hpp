@@ -31,6 +31,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fatomic/snapshot/arena.hpp"
 #include "fatomic/snapshot/capture.hpp"
 
 namespace fatomic::snapshot {
@@ -38,15 +39,38 @@ namespace fatomic::snapshot {
 class Restorer {
  public:
   /// Rolls `root` back to the state recorded in `s` (the paper's replace()).
+  ///
+  /// Partial-restore exception safety: restore either completes or throws a
+  /// RestoreError.  The rebuild phases overwrite the receiver in place, so a
+  /// mid-replay exception (a throwing element constructor, a failed
+  /// allocation) leaves the graph half-restored — there is no way to roll
+  /// the rollback back.  What we guarantee instead is a *distinct, loud*
+  /// failure: the error is re-raised as RestoreError with a diagnostic, the
+  /// wrappers count it (stats.restore_errors), and the scheduled deletions
+  /// are skipped — the old pointees may still be referenced by the
+  /// half-restored graph, so reclaiming them would turn a reported
+  /// inconsistency into a use-after-free.  (Leaking them is the safe side.)
   template <class T>
   static void apply(T& root, const Snapshot& s) {
     Restorer r;
     r.snap_ = &s;
     r.collect_value(root, /*owned=*/false);
-    r.restore_value(root, s.root(), /*owned=*/false);
-    // Fixups may enqueue further fixups (in-place restore of external
-    // pointees can contain aliases of its own), so index, don't iterate.
-    for (std::size_t i = 0; i < r.fixups_.size(); ++i) r.fixups_[i]();
+    try {
+      r.restore_value(root, s.root(), /*owned=*/false);
+      // Fixups may enqueue further fixups (in-place restore of external
+      // pointees can contain aliases of its own), so index, don't iterate.
+      for (std::size_t i = 0; i < r.fixups_.size(); ++i) r.fixups_[i]();
+    } catch (const RestoreError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw RestoreError(
+          std::string("restore failed mid-replay, receiver may be partially "
+                      "restored: ") +
+          e.what());
+    } catch (...) {
+      throw RestoreError(
+          "restore failed mid-replay, receiver may be partially restored");
+    }
     for (auto& del : r.deleters_) del();
   }
 
@@ -158,8 +182,10 @@ class Restorer {
       dst = static_cast<T>(std::get<std::int64_t>(n.value));
     } else if constexpr (std::is_integral_v<T>) {
       dst = static_cast<T>(std::get<std::uint64_t>(n.value));
+    } else if constexpr (std::is_same_v<T, float>) {
+      dst = std::get<F32Bits>(n.value).value();
     } else if constexpr (std::is_floating_point_v<T>) {
-      dst = static_cast<T>(std::get<double>(n.value));
+      dst = static_cast<T>(std::get<F64Bits>(n.value).value());
     } else {
       dst = std::get<std::string>(n.value);
     }
@@ -408,6 +434,10 @@ struct PolyOpsFor {
   static void destroy_fn(void* bp) {
     delete static_cast<Derived*>(static_cast<Base*>(bp));
   }
+  static NodeId encode_fn(const void* bp, ArenaEncoder& e) {
+    const Base* base = static_cast<const Base*>(bp);
+    return e.encode_object(*static_cast<const Derived*>(base));
+  }
 };
 
 }  // namespace detail
@@ -425,6 +455,7 @@ int register_poly() {
       &detail::PolyOpsFor<Base, Derived>::create_fn,
       &detail::PolyOpsFor<Base, Derived>::restore_fn,
       &detail::PolyOpsFor<Base, Derived>::destroy_fn,
+      &detail::PolyOpsFor<Base, Derived>::encode_fn,
   };
   PolyRegistry::instance().add(typeid(Base), typeid(Derived), &ops);
   return 0;

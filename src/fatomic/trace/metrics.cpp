@@ -129,6 +129,11 @@ MetricsRegistry campaign_metrics(const detect::Campaign& campaign) {
   m.add("stats.partial_fallbacks", s.partial_fallbacks);
   m.add("stats.checkpoint_units", s.checkpoint_units);
   m.add("stats.validator_divergences", s.validator_divergences);
+  m.add("stats.arena_checkpoints", s.arena_checkpoints);
+  m.add("stats.arena_bytes", s.arena_bytes);
+  m.add("stats.memcmp_compares", s.memcmp_compares);
+  m.add("stats.compare_fallbacks", s.compare_fallbacks);
+  m.add("stats.restore_errors", s.restore_errors);
   m.add("campaign.runs", campaign.runs.size());
   m.add("campaign.injections", campaign.injections());
   m.add("campaign.pruned_runs", campaign.pruned_runs);
@@ -157,6 +162,16 @@ MetricsRegistry campaign_metrics(const detect::Campaign& campaign) {
         break;
       case EventKind::Compare:
         m.histogram("compare_ns").observe(e.dur_ns);
+        break;
+      case EventKind::ArenaCapture:
+        m.histogram("arena_snapshot_ns").observe(e.dur_ns);
+        if (e.method != nullptr)
+          m.add("checkpoint_units." + e.method->qualified_name(), e.value);
+        break;
+      case EventKind::ArenaCompare:
+        m.histogram("arena_compare_ns").observe(e.dur_ns);
+        m.add(e.value != 0 ? "arena_compares.memcmp"
+                           : "arena_compares.fallback");
         break;
       case EventKind::PlanLookup:
         m.add(e.value != 0 ? "plan_lookups.hit" : "plan_lookups.miss");

@@ -30,6 +30,12 @@ const char* to_string(EventKind kind) {
       return "mask-scope";
     case EventKind::Validator:
       return "validator";
+    case EventKind::ArenaCapture:
+      return "arena-snapshot";
+    case EventKind::ArenaCompare:
+      return "arena-compare";
+    case EventKind::RestoreFailure:
+      return "restore-error";
   }
   return "?";
 }

@@ -47,6 +47,9 @@ enum class EventKind : std::uint8_t {
   PlanLookup,         ///< instant: wrap consulted the plan map; value = hit
   MaskScope,          ///< instant: MaskedScope entered (1) / left (0)
   Validator,          ///< instant: shadow-checkpoint divergence detected
+  ArenaCapture,       ///< span: arena flat-buffer checkpoint; value = nodes
+  ArenaCompare,       ///< span: arena compare; value = memcmp decided (1/0)
+  RestoreFailure,     ///< instant: rollback failed mid-replay (RestoreError)
 };
 
 /// Stable lowercase tag ("run", "snapshot", ...) used by every exporter.

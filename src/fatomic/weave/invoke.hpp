@@ -17,6 +17,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "fatomic/snapshot/backend.hpp"
 #include "fatomic/snapshot/diff.hpp"
 #include "fatomic/snapshot/partial.hpp"
 #include "fatomic/snapshot/restore.hpp"
@@ -45,6 +46,49 @@ inline void fire_injection_points(const MethodInfo& mi, Runtime& rt) {
   };
   for (const ExceptionSpec& e : mi.declared()) fire(e);
   for (const ExceptionSpec& e : rt.runtime_exceptions()) fire(e);
+}
+
+/// Takes one full checkpoint through the runtime-selected backend and
+/// charges the backend-specific counters/trace events.  Shared by the
+/// atomicity wrapper's checkpoint and the injection wrapper's before/after
+/// captures, so a campaign's full-checkpoint accounting is uniform.
+template <class Root>
+snapshot::Checkpoint take_full_checkpoint(const MethodInfo& mi,
+                                          const Root& root, Runtime& rt,
+                                          snapshot::BackendKind kind,
+                                          bool count_snapshot) {
+  const bool arena = kind == snapshot::BackendKind::Arena;
+  const std::uint64_t t0 = rt.trace.begin_span();
+  snapshot::Checkpoint cp = snapshot::Checkpoint::take(root, kind, &rt.arena_pool);
+  if (count_snapshot) {
+    ++rt.stats.snapshots_taken;
+    if (arena) {
+      ++rt.stats.arena_checkpoints;
+      rt.stats.arena_bytes += cp.bytes();
+    }
+  }
+  rt.trace.span(
+      arena ? trace::EventKind::ArenaCapture : trace::EventKind::Snapshot, t0,
+      &mi, cp.units());
+  return cp;
+}
+
+/// Rolls `root` back to `cp`, translating a mid-replay failure into the
+/// restore_errors counter + a RestoreFailure event before letting the
+/// RestoreError propagate (the receiver may be partially restored — masking
+/// anything at that point would hide corruption).
+template <class Root>
+void rollback_to(const MethodInfo& mi, Root& root,
+                 const snapshot::Checkpoint& cp, Runtime& rt) {
+  try {
+    cp.restore_to(root);
+  } catch (const RestoreError&) {
+    ++rt.stats.restore_errors;
+    rt.trace.instant(trace::EventKind::RestoreFailure, &mi);
+    throw;
+  }
+  ++rt.stats.rollbacks;
+  rt.trace.instant(trace::EventKind::Rollback, &mi, /*partial=*/0);
 }
 
 /// Atomicity wrapper around `body` for checkpoint root `root` (the receiver,
@@ -106,18 +150,23 @@ decltype(auto) masked_call(const MethodInfo& mi, Root& root, Fn&& body,
       ++rt.stats.partial_fallbacks;
       rt.trace.instant(trace::EventKind::PartialFallback, &mi);
     }
-    const std::uint64_t t0 = rt.trace.begin_span();
-    snapshot::Snapshot checkpoint = snapshot::capture(root);
-    ++rt.stats.snapshots_taken;
-    rt.stats.checkpoint_units += checkpoint.node_count();
-    rt.trace.span(trace::EventKind::Snapshot, t0, &mi,
-                  checkpoint.node_count());
+    snapshot::Checkpoint checkpoint = take_full_checkpoint(
+        mi, root, rt, rt.checkpoint_backend, /*count_snapshot=*/true);
+    rt.stats.checkpoint_units += checkpoint.units();
+    // Backend shadow validator: under validate_checkpoints every arena
+    // checkpoint is cross-checked against a graph capture of the same live
+    // state — the two backends must agree on what they recorded.
+    if (rt.validate_checkpoints &&
+        checkpoint.backend() == snapshot::BackendKind::Arena) {
+      if (!snapshot::capture(root).equals(checkpoint.graph())) {
+        ++rt.stats.validator_divergences;
+        rt.trace.instant(trace::EventKind::Validator, &mi, 0, "backend");
+      }
+    }
     try {
       return body();
     } catch (...) {
-      snapshot::restore(root, checkpoint);
-      ++rt.stats.rollbacks;
-      rt.trace.instant(trace::EventKind::Rollback, &mi, /*partial=*/0);
+      rollback_to(mi, root, checkpoint, rt);
       throw;
     }
   }
@@ -138,21 +187,48 @@ decltype(auto) injected_call(const MethodInfo& mi, Root& root, Fn&& body,
     explicit DepthGuard(Runtime& r) : rt(r) { ++rt.depth; }
     ~DepthGuard() { --rt.depth; }
   } depth_guard(rt);
-  const std::uint64_t t0 = rt.trace.begin_span();
-  snapshot::Snapshot before = snapshot::capture(root);
-  ++rt.stats.snapshots_taken;
-  rt.trace.span(trace::EventKind::Snapshot, t0, &mi, before.node_count());
+  // Diff recording renders field names, which only the graph backend's node
+  // tables carry (the arena slab stores none — they are type-determined);
+  // record_diffs campaigns therefore pin the injection wrapper to graph
+  // captures.  It is already the "pay for diagnostics" knob.
+  const snapshot::BackendKind kind = rt.record_diffs
+                                         ? snapshot::BackendKind::Graph
+                                         : rt.checkpoint_backend;
+  const bool arena = kind == snapshot::BackendKind::Arena;
+  snapshot::Checkpoint before =
+      take_full_checkpoint(mi, root, rt, kind, /*count_snapshot=*/true);
+  // Verdict cross-check (shadow validator): under validate_checkpoints the
+  // graph backend independently captures the same states and must reach the
+  // same atomic/non-atomic verdict as the arena compare.
+  snapshot::Snapshot before_shadow;
+  if (arena && rt.validate_checkpoints) before_shadow = snapshot::capture(root);
   try {
     return inner();
   } catch (...) {
     const std::uint64_t c0 = rt.trace.begin_span();
-    snapshot::Snapshot after = snapshot::capture(root);
+    snapshot::Checkpoint after =
+        snapshot::Checkpoint::take(root, kind, &rt.arena_pool);
     ++rt.stats.comparisons;
-    const bool atomic = before.equals(after);
-    rt.trace.span(trace::EventKind::Compare, c0, &mi, atomic ? 1 : 0);
+    bool used_memcmp = false;
+    const bool atomic = before.equals(after, &used_memcmp);
+    if (arena) {
+      if (used_memcmp)
+        ++rt.stats.memcmp_compares;
+      else
+        ++rt.stats.compare_fallbacks;
+      rt.trace.span(trace::EventKind::ArenaCompare, c0, &mi,
+                    used_memcmp ? 1 : 0);
+      if (rt.validate_checkpoints &&
+          before_shadow.equals(snapshot::capture(root)) != atomic) {
+        ++rt.stats.validator_divergences;
+        rt.trace.instant(trace::EventKind::Validator, &mi, 0, "backend");
+      }
+    } else {
+      rt.trace.span(trace::EventKind::Compare, c0, &mi, atomic ? 1 : 0);
+    }
     std::string detail;
     if (!atomic && rt.record_diffs)
-      detail = snapshot::first_difference(before, after);
+      detail = snapshot::first_difference(before.graph(), after.graph());
     rt.marks.push_back(Mark{&mi, atomic, rt.injection_point, rt.depth,
                             std::move(detail),
                             current_exception_type_name()});

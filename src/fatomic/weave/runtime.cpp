@@ -45,6 +45,7 @@ void Runtime::adopt_config(const Runtime& src) {
   plans_ = src.plans_;
   plan_memo_.clear();
   validate_checkpoints = src.validate_checkpoints;
+  checkpoint_backend = src.checkpoint_backend;
   if (src.trace.enabled())
     trace.enable(src.trace.epoch());
   else

@@ -19,7 +19,8 @@ TEST(Capture, PrimitiveLeaves) {
   EXPECT_EQ(root.kind, snap::NodeKind::Object);
   ASSERT_EQ(root.children.size(), 4u);
   EXPECT_EQ(std::get<std::int64_t>(s.node(root.children[0]).value), 7);
-  EXPECT_EQ(std::get<double>(s.node(root.children[1]).value), 2.5);
+  EXPECT_EQ(std::get<snap::F64Bits>(s.node(root.children[1]).value).value(),
+            2.5);
   EXPECT_EQ(std::get<bool>(s.node(root.children[2]).value), true);
   EXPECT_EQ(std::get<std::string>(s.node(root.children[3]).value), "abc");
 }

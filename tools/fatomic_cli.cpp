@@ -11,6 +11,7 @@
 //   fatomic_cli --all [--language C++|Java] [--csv] [--trace-out trace.json]
 //   fatomic_cli --all --out-dir artifacts/
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +26,7 @@
 
 namespace detect = fatomic::detect;
 namespace report = fatomic::report;
+namespace snapshot = fatomic::snapshot;
 namespace trace = fatomic::trace;
 
 namespace {
@@ -51,6 +53,7 @@ struct Args {
   bool write_sets = false;
   bool mask_partial = false;
   bool validate_checkpoints = false;
+  snapshot::BackendKind backend = snapshot::default_backend();
   std::string trace_out;
   bool trace_summary = false;
   bool metrics = false;
@@ -82,7 +85,15 @@ int usage(int code) {
       "  --cross-check          run full and pruned campaigns, verify the\n"
       "                         classifications are identical (exit != 0\n"
       "                         on divergence); with --all: gate over every\n"
-      "                         subject family including hidden demos\n"
+      "                         subject family including hidden demos; with\n"
+      "                         --checkpoint-backend arena: additionally\n"
+      "                         verify graph and arena campaigns classify\n"
+      "                         identically\n"
+      "  --checkpoint-backend B checkpoint representation: 'graph' (node\n"
+      "                         table, structural compare) or 'arena' (flat\n"
+      "                         slab, memcmp compare); default honours the\n"
+      "                         FATOMIC_CHECKPOINT_BACKEND env var, else\n"
+      "                         graph\n"
       "  --diffs                attach a graph-diff example to each\n"
       "                         non-atomic method in --details output\n"
       "  --exception-free M     declare method M exception-free (repeatable)\n"
@@ -103,8 +114,11 @@ int usage(int code) {
       "  --mask-partial         with --mask-verify: field-granular\n"
       "                         checkpoints from the write-set analysis\n"
       "  --validate-checkpoints shadow every partial checkpoint with a full\n"
-      "                         one and diff after rollback (exit != 0 on\n"
-      "                         any divergence)\n"
+      "                         one and diff after rollback; under the arena\n"
+      "                         backend also shadow every arena checkpoint\n"
+      "                         with a graph capture and cross-check each\n"
+      "                         compare verdict (exit != 0 on any\n"
+      "                         divergence)\n"
       "  --no-wrap M            exclude method M from masking (repeatable;\n"
       "                         unknown names are warned about)\n"
       "\n"
@@ -175,6 +189,16 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.app = v;
+    } else if (a == "--checkpoint-backend") {
+      const char* v = value();
+      if (!v) return false;
+      const auto kind = snapshot::parse_backend(v);
+      if (!kind) {
+        std::cerr << "--checkpoint-backend expects 'graph' or 'arena', got '"
+                  << v << "'\n";
+        return false;
+      }
+      args.backend = *kind;
     } else if (a == "--language") {
       const char* v = value();
       if (!v) return false;
@@ -217,7 +241,11 @@ bool parse(int argc, char** argv, Args& args) {
 fatomic::Config make_config(const Args& args,
                             const std::set<std::string>* prune = nullptr) {
   fatomic::Config cfg;
-  cfg.jobs(args.jobs).record_diffs(args.diffs).tracing(args.want_trace());
+  cfg.jobs(args.jobs)
+      .record_diffs(args.diffs)
+      .tracing(args.want_trace())
+      .checkpoint_backend(args.backend)
+      .validate_checkpoints(args.validate_checkpoints);
   if (prune != nullptr) cfg.prune_atomic(*prune);
   for (const auto& m : args.exception_free) cfg.exception_free(m);
   for (const auto& m : args.no_wrap) cfg.no_wrap(m);
@@ -299,6 +327,26 @@ void emit_trace_outputs(const Args& args, const report::AppResult& result) {
   }
 }
 
+/// Backend soundness gate (--cross-check with --checkpoint-backend arena):
+/// the same campaign must classify identically whether checkpoints live in
+/// the graph node table or the arena slab — the slab is an encoding, not a
+/// semantics.
+int backend_parity_check(const subjects::apps::App& app, const Args& args) {
+  fatomic::Config graph_cfg = make_config(args);
+  graph_cfg.checkpoint_backend(snapshot::BackendKind::Graph);
+  fatomic::Config arena_cfg = make_config(args);
+  arena_cfg.checkpoint_backend(snapshot::BackendKind::Arena);
+  const auto g = run_campaign(app, graph_cfg);
+  const auto a = run_campaign(app, arena_cfg);
+  const bool identical = report::classification_json(g.classification) ==
+                         report::classification_json(a.classification);
+  std::cout << app.name << ": backend cross-check "
+            << (identical ? "identical" : "DIVERGED") << " ("
+            << a.campaign.stats.memcmp_compares << " memcmp compares, "
+            << a.campaign.stats.compare_fallbacks << " structural fallbacks)\n";
+  return identical ? 0 : 2;
+}
+
 int run_one(const Args& args) {
   const auto& app = subjects::apps::app(args.app);
 
@@ -319,6 +367,8 @@ int run_one(const Args& args) {
       std::cout << "  first mismatch: " << cc.mismatch << '\n';
       return 2;
     }
+    if (args.backend == snapshot::BackendKind::Arena)
+      return backend_parity_check(app, args);
     return 0;
   }
 
@@ -403,6 +453,13 @@ int run_one(const Args& args) {
     }
     return remaining.empty() ? 0 : 2;
   }
+  if (args.validate_checkpoints) {
+    // Detection campaigns run the validator too (make_config wires it into
+    // the Config) — surface the verdict even without --mask-verify.
+    const auto divergences = result.campaign.stats.validator_divergences;
+    std::cout << "checkpoint validator: " << divergences << " divergences\n";
+    if (divergences > 0) return 2;
+  }
   if (args.lint) return print_lint(app.name, result.campaign);
   return 0;
 }
@@ -429,6 +486,8 @@ int run_all(const Args& args) {
         std::cout << "  first mismatch: " << cc.mismatch << '\n';
         status = 2;
       }
+      if (args.backend == snapshot::BackendKind::Arena)
+        status = std::max(status, backend_parity_check(app, args));
     }
     return status;
   }
@@ -437,10 +496,12 @@ int run_all(const Args& args) {
   std::vector<report::AppResult> results;
   std::vector<std::pair<std::string, trace::Trace>> traces;
   int lint_status = 0;
+  std::uint64_t validator_divergences = 0;
   for (const auto& app : subjects::apps::all_apps()) {
     if (!args.language.empty() && app.language != args.language) continue;
     results.push_back(run_campaign(app, config));
     const auto& result = results.back();
+    validator_divergences += result.campaign.stats.validator_divergences;
     if (args.lint)
       lint_status = std::max(lint_status, print_lint(app.name, result.campaign));
     if (!args.trace_out.empty())
@@ -462,6 +523,11 @@ int run_all(const Args& args) {
                 << events << " events)\n";
   }
   if (args.lint) return lint_status;
+  if (args.validate_checkpoints) {
+    std::cout << "checkpoint validator: " << validator_divergences
+              << " divergences across " << results.size() << " campaigns\n";
+    if (validator_divergences > 0) return 2;
+  }
   std::cout << report::table1(results) << '\n';
   std::cout << report::figure_methods(results, "method classification")
             << '\n';
