@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "fatomic/detect/experiment.hpp"
 #include "fatomic/report/json.hpp"
 #include "fatomic/report/report.hpp"
+#include "fatomic/snapshot/backend.hpp"
+#include "fatomic/unwind/provenance.hpp"
 #include "subjects/apps/apps.hpp"
 
 namespace bench_common {
@@ -94,13 +97,40 @@ class JsonArray {
   bool first_ = true;
 };
 
+/// Run metadata stamped into every bench artifact: which build produced the
+/// numbers (git describe, baked in by bench/CMakeLists.txt), under which
+/// checkpoint backend they ran (the process default honours
+/// FATOMIC_CHECKPOINT_BACKEND), and the machine's parallelism — the three
+/// knobs that make two BENCH_*.json files incomparable when they differ.
+inline std::string bench_meta_json() {
+  return JsonObject{}
+#ifdef FATOMIC_GIT_DESCRIBE
+      .put("git", FATOMIC_GIT_DESCRIBE)
+#else
+      .put("git", "unknown")
+#endif
+      .put("checkpoint_backend",
+           fatomic::snapshot::to_string(fatomic::snapshot::default_backend()))
+      .put("jobs", std::thread::hardware_concurrency())
+      .put("provenance_available", fatomic::unwind::available())
+      .dump();
+}
+
 /// Writes `json` to BENCH_<bench>.json in the working directory and notes
-/// the artifact on stdout so CI logs show where the data went.
+/// the artifact on stdout so CI logs show where the data went.  Every
+/// artifact is a top-level object; a "meta" section (bench_meta_json) is
+/// stamped into it here so no bench can forget it.
 inline void write_bench_json(const std::string& bench,
                              const std::string& json) {
+  std::string stamped = json;
+  if (!stamped.empty() && stamped.back() == '}') {
+    stamped.pop_back();
+    if (stamped.size() > 1) stamped += ',';
+    stamped += "\"meta\":" + bench_meta_json() + "}";
+  }
   const std::string path = "BENCH_" + bench + ".json";
   std::ofstream out(path);
-  out << json << '\n';
+  out << stamped << '\n';
   if (out)
     std::cout << "bench json: " << path << '\n';
   else

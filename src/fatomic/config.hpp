@@ -114,6 +114,15 @@ class Config {
     settings_.trace = on;
     return *this;
   }
+  /// Captures throw-site backtraces for every campaign exception (the
+  /// __cxa_throw interposer, unwind/provenance.hpp): marks and escape
+  /// records carry interned stack ids and campaign JSON gains an
+  /// "exception_provenance" section.  No default argument for the same
+  /// getter-overload reason as tracing().
+  Config& provenance(bool on) {
+    settings_.provenance = on;
+    return *this;
+  }
 
   // --- what the pipeline entry points consume -----------------------------
   const detect::CampaignSettings& campaign_settings() const {
@@ -123,6 +132,7 @@ class Config {
   bool masked() const { return settings_.masked; }
   unsigned jobs() const { return settings_.jobs; }
   bool tracing() const { return settings_.trace; }
+  bool provenance() const { return settings_.provenance; }
 
  private:
   detect::CampaignSettings settings_;

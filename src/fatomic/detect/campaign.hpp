@@ -25,6 +25,9 @@ struct RunRecord {
   std::vector<weave::Mark> marks;
   bool escaped = false;  ///< the exception escaped the whole program
   std::string escape_what;
+  /// Interned throw-site stack id of the escaping exception (provenance
+  /// campaigns only; 0 otherwise).
+  std::uint64_t escape_stack = 0;
 };
 
 /// Stats attributable to one campaign worker (0 = the driving thread for
@@ -66,6 +69,10 @@ struct Campaign {
   /// campaign ran with tracing enabled — CampaignSettings::trace or
   /// fatomic::Config::tracing).
   trace::Trace trace;
+  /// Whether this campaign ran with throw-site provenance armed — gates the
+  /// "exception_provenance" report section so non-provenance campaign JSON
+  /// stays byte-identical to earlier releases.
+  bool provenance = false;
 
   /// Number of exceptions actually injected (Table 1, #Injections).
   std::uint64_t injections() const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fatomic/config.hpp"
+#include "fatomic/unwind/provenance.hpp"
 
 namespace fatomic::detect {
 
@@ -149,6 +150,12 @@ struct RunOutcome {
 RunOutcome run_once(const std::function<void()>& program, weave::Runtime& rt,
                     weave::Mode mode, std::uint64_t threshold) {
   weave::ScopedMode m(mode);
+  // Throw-stack captures stop at this frame: everything outside run_once
+  // (the sequential driver loop vs a worker's std::thread trampoline) is
+  // scheduling context that would otherwise make equal throw stacks hash to
+  // different ids across jobs values.
+  char capture_floor = 0;
+  unwind::ScopedCaptureFloor floor(&capture_floor);
   const weave::RuntimeStats before = rt.stats;
   const std::size_t trace_base = rt.trace.size();
   rt.begin_run(threshold);
@@ -161,9 +168,11 @@ RunOutcome run_once(const std::function<void()>& program, weave::Runtime& rt,
   } catch (const std::exception& e) {
     out.rec.escaped = true;
     out.rec.escape_what = e.what();
+    if (rt.provenance) out.rec.escape_stack = unwind::current_throw_stack();
   } catch (...) {
     out.rec.escaped = true;
     out.rec.escape_what = "(non-standard exception)";
+    if (rt.provenance) out.rec.escape_stack = unwind::current_throw_stack();
   }
 
   out.rec.injected = rt.injected;
@@ -214,6 +223,19 @@ Campaign Experiment::run() {
   ScopedTrace trace_scope(rt, opts_.trace);
   campaign.trace.enabled = rt.trace.enabled();
   const std::uint64_t campaign_t0 = rt.trace.begin_span();
+
+  // Throw-site provenance: arm the __cxa_throw interposer for the whole
+  // campaign (process-wide, so parallel workers are covered) and tell the
+  // wrappers to attribute captures.  Degrades to off when the interposer is
+  // compiled out (FATOMIC_PROVENANCE=OFF) or unavailable on this platform.
+  const bool provenance = opts_.provenance && unwind::available();
+  campaign.provenance = provenance;
+  unwind::ScopedArm arm(provenance);
+  struct ProvFlag {
+    bool saved = weave::Runtime::instance().provenance;
+    ~ProvFlag() { weave::Runtime::instance().provenance = saved; }
+  } prov_flag;
+  rt.provenance = provenance;
 
   // With static pruning requested, the baseline additionally records the
   // call stack at every wrapped call — one stack per injection-point group,

@@ -77,6 +77,13 @@ struct CampaignSettings {
   /// return it, deterministically merged, as Campaign::trace.  Off by
   /// default: the disabled path costs one predicted branch per event site.
   bool trace = false;
+
+  /// Capture throw-site backtraces (unwind/provenance.hpp) for the duration
+  /// of the campaign: arms the __cxa_throw interposer, attaches interned
+  /// stack ids to marks and escape records, and fills campaign_json's
+  /// "exception_provenance" section.  Off by default; a no-op on builds with
+  /// the FATOMIC_PROVENANCE kill switch off.
+  bool provenance = false;
 };
 
 /// Deprecated spelling of CampaignSettings, kept as a thin adapter for one

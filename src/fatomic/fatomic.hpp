@@ -53,4 +53,6 @@
 #include "fatomic/trace/export.hpp"
 #include "fatomic/trace/metrics.hpp"
 #include "fatomic/trace/trace.hpp"
+#include "fatomic/unwind/provenance.hpp"
+#include "fatomic/unwind/stack_table.hpp"
 #include "fatomic/weave/macros.hpp"

@@ -1,9 +1,12 @@
 #include "fatomic/report/json.hpp"
 
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "fatomic/trace/export.hpp"
+#include "fatomic/unwind/provenance.hpp"
+#include "fatomic/unwind/stack_table.hpp"
 
 namespace fatomic::report {
 
@@ -82,6 +85,88 @@ std::string classification_json(const detect::Classification& cls) {
   return os.str();
 }
 
+std::string provenance_json(const detect::Campaign& campaign) {
+  // Aggregate marks by (method, throw-site stack): how often each site's
+  // exception passed through each wrapper, with what types, and whether the
+  // run ultimately contained (masked) or escaped it.
+  struct SiteAgg {
+    std::uint64_t count = 0;
+    std::uint64_t masked = 0;
+    std::uint64_t escaped = 0;
+    /// Representative stack id (first observed) for the "stack" array;
+    /// rows are keyed by rendered site name, so ids differing only in
+    /// calling context collapse into one entry.
+    std::uint64_t stack = 0;
+    std::set<std::string> exceptions;
+  };
+  std::map<std::string, std::map<std::string, SiteAgg>> methods;
+  std::map<std::string, std::uint64_t> escapes;
+  std::set<std::uint64_t> sites;
+  for (const detect::RunRecord& run : campaign.runs) {
+    for (const weave::Mark& mark : run.marks) {
+      if (mark.throw_stack == 0) continue;
+      sites.insert(mark.throw_stack);
+      SiteAgg& agg = methods[mark.method->qualified_name()]
+                            [unwind::site_name(mark.throw_stack)];
+      ++agg.count;
+      ++(run.escaped ? agg.escaped : agg.masked);
+      if (agg.stack == 0) agg.stack = mark.throw_stack;
+      if (!mark.exception_type.empty())
+        agg.exceptions.insert(mark.exception_type);
+    }
+    if (run.escape_stack != 0) {
+      sites.insert(run.escape_stack);
+      ++escapes[unwind::site_name(run.escape_stack)];
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\"exceptions_thrown\":" << campaign.stats.exceptions_thrown
+     << ",\"unique_throw_sites\":" << sites.size()
+     << ",\"stacks_interned\":" << unwind::global_stack_table().size()
+     << ",\"stack_evictions\":" << unwind::global_stack_table().evictions()
+     << ",\"methods\":[";
+  bool first = true;
+  for (const auto& [method, site_map] : methods) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"method\":\"" << json_escape(method) << "\",\"sites\":[";
+    bool sfirst = true;
+    for (const auto& [site, agg] : site_map) {
+      if (!sfirst) os << ',';
+      sfirst = false;
+      os << "{\"site\":\"" << json_escape(site)
+         << "\",\"count\":" << agg.count << ",\"masked\":" << agg.masked
+         << ",\"escaped\":" << agg.escaped << ",\"exceptions\":[";
+      bool efirst = true;
+      for (const std::string& type : agg.exceptions) {
+        if (!efirst) os << ',';
+        efirst = false;
+        os << '"' << json_escape(type) << '"';
+      }
+      os << "],\"stack\":[";
+      efirst = true;
+      for (const std::string& frame : unwind::symbolize_stack(agg.stack)) {
+        if (!efirst) os << ',';
+        efirst = false;
+        os << '"' << json_escape(frame) << '"';
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << "],\"escapes\":[";
+  first = true;
+  for (const auto& [site, count] : escapes) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"site\":\"" << json_escape(site) << "\",\"count\":" << count
+       << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
 std::string campaign_json(const detect::Campaign& campaign) {
   std::ostringstream os;
   os << "{\"runs\":" << campaign.runs.size()
@@ -123,6 +208,10 @@ std::string campaign_json(const detect::Campaign& campaign) {
   // byte-deterministic across jobs values.
   if (campaign.trace.enabled)
     os << ",\"trace\":" << trace::trace_section_json(campaign);
+  // Exception provenance (DESIGN.md §11): per-method throw-site histogram.
+  // Gated on the campaign's provenance flag so reports from campaigns that
+  // never armed capture stay byte-identical to earlier releases.
+  if (campaign.provenance) os << ",\"exception_provenance\":" << provenance_json(campaign);
   os << '}';
   return os.str();
 }

@@ -30,6 +30,13 @@ std::string campaign_json(const detect::Campaign& campaign,
 std::string campaign_json(const detect::Campaign& campaign,
                           const detect::Policy& policy);
 
+/// The "exception_provenance" section of campaign_json on its own: per-method
+/// throw-site histogram (site name, symbolized stack, count, exception types,
+/// masked/escaped disposition) plus escape-site counts and intern-table
+/// health.  Only meaningful for campaigns run with provenance enabled;
+/// campaign_json embeds it exactly when Campaign::provenance is set.
+std::string provenance_json(const detect::Campaign& campaign);
+
 /// Escapes a string for inclusion in JSON output.
 std::string json_escape(const std::string& s);
 

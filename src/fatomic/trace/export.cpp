@@ -9,6 +9,7 @@
 #include "fatomic/detect/campaign.hpp"
 #include "fatomic/report/json.hpp"
 #include "fatomic/trace/metrics.hpp"
+#include "fatomic/unwind/provenance.hpp"
 
 namespace fatomic::trace {
 
@@ -63,6 +64,18 @@ void emit_process(std::ostringstream& os, int pid, const Trace& trace,
     os << ",\"value\":" << e.value;
     if (!e.detail.empty())
       os << ",\"detail\":\"" << report::json_escape(e.detail) << '"';
+    if (e.kind == EventKind::ThrowSite && e.value != 0) {
+      // Symbolize the interned stack here, at export time — the capture
+      // path recorded raw PCs only.
+      os << ",\"stack\":[";
+      bool sfirst = true;
+      for (const std::string& frame : unwind::symbolize_stack(e.value)) {
+        if (!sfirst) os << ',';
+        sfirst = false;
+        os << '"' << report::json_escape(frame) << '"';
+      }
+      os << ']';
+    }
     os << "}}";
   }
 }
@@ -134,6 +147,26 @@ std::string trace_summary(const Trace& trace) {
     for (const auto& [name, ns] : top)
       os << "    " << std::left << std::setw(30) << name << std::right
          << std::setw(12) << us(ns) << " us\n";
+  }
+
+  // Throw-site provenance: one line per distinct captured throw site, most
+  // frequent first (symbolized lazily here, never on the capture path).
+  // Aggregated by rendered name so stack ids differing only in calling
+  // context collapse into one row.
+  std::map<std::string, std::uint64_t> site_counts;
+  for (const Event& e : trace.events)
+    if (e.kind == EventKind::ThrowSite && e.value != 0)
+      ++site_counts[unwind::site_name(e.value)];
+  if (!site_counts.empty()) {
+    std::vector<std::pair<std::string, std::uint64_t>> sites(
+        site_counts.begin(), site_counts.end());
+    std::sort(sites.begin(), sites.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    os << "  throw sites:\n";
+    for (const auto& [site, count] : sites)
+      os << "    " << std::left << std::setw(52) << site << std::right
+         << std::setw(8) << count << '\n';
   }
   return os.str();
 }

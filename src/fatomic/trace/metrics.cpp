@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <set>
 #include <sstream>
 
 #include "fatomic/detect/campaign.hpp"
 #include "fatomic/report/json.hpp"
 #include "fatomic/trace/trace.hpp"
+#include "fatomic/unwind/stack_table.hpp"
 
 namespace fatomic::trace {
 
@@ -134,9 +136,26 @@ MetricsRegistry campaign_metrics(const detect::Campaign& campaign) {
   m.add("stats.memcmp_compares", s.memcmp_compares);
   m.add("stats.compare_fallbacks", s.compare_fallbacks);
   m.add("stats.restore_errors", s.restore_errors);
+  m.add("stats.exceptions_thrown", s.exceptions_thrown);
   m.add("campaign.runs", campaign.runs.size());
   m.add("campaign.injections", campaign.injections());
   m.add("campaign.pruned_runs", campaign.pruned_runs);
+
+  // Provenance counters: distinct throw sites observed by this campaign's
+  // marks and escape records, plus the process-wide intern-table health
+  // (admission bound pressure shows up as stack_evictions).
+  if (campaign.provenance) {
+    std::set<std::uint64_t> sites;
+    for (const detect::RunRecord& r : campaign.runs) {
+      for (const weave::Mark& mark : r.marks)
+        if (mark.throw_stack != 0) sites.insert(mark.throw_stack);
+      if (r.escape_stack != 0) sites.insert(r.escape_stack);
+    }
+    m.add("provenance.unique_throw_sites", sites.size());
+    m.add("provenance.stacks_interned", unwind::global_stack_table().size());
+    m.add("provenance.stack_evictions",
+          unwind::global_stack_table().evictions());
+  }
 
   // Per-exception-type injection counts come straight off the run records —
   // available with or without tracing.

@@ -36,6 +36,8 @@ const char* to_string(EventKind kind) {
       return "arena-compare";
     case EventKind::RestoreFailure:
       return "restore-error";
+    case EventKind::ThrowSite:
+      return "throw-site";
   }
   return "?";
 }

@@ -50,6 +50,7 @@ enum class EventKind : std::uint8_t {
   ArenaCapture,       ///< span: arena flat-buffer checkpoint; value = nodes
   ArenaCompare,       ///< span: arena compare; value = memcmp decided (1/0)
   RestoreFailure,     ///< instant: rollback failed mid-replay (RestoreError)
+  ThrowSite,          ///< instant: captured throw backtrace; value = stack id
 };
 
 /// Stable lowercase tag ("run", "snapshot", ...) used by every exporter.

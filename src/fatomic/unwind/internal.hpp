@@ -1,0 +1,43 @@
+// Shared internals of the provenance subsystem: the arming counters and the
+// capture entry point the __cxa_throw interposer (interpose.cpp) calls into,
+// plus the platform gate.  Private to src/fatomic/unwind/.
+#pragma once
+
+#include <cstdint>
+#include <typeinfo>
+
+// The interposer needs ELF symbol interposition semantics and the Itanium
+// C++ ABI (GCC/Clang).  Anywhere else — or under the FATOMIC_PROVENANCE=OFF
+// kill switch — the whole subsystem compiles to inert stubs.
+#if !defined(FATOMIC_PROVENANCE_DISABLED) && defined(__GNUG__) && \
+    defined(__ELF__)
+#define FATOMIC_PROVENANCE_ACTIVE 1
+#else
+#define FATOMIC_PROVENANCE_ACTIVE 0
+#endif
+
+#if FATOMIC_PROVENANCE_ACTIVE
+
+#include <atomic>
+
+namespace fatomic::unwind::detail {
+
+/// Live ScopedArm count; the interposer captures only when nonzero.
+extern std::atomic<int> g_armed;
+
+/// Captures the calling thread's backtrace into its ThrowRecord slot.
+/// Called by the interposer with the exception object and its type_info;
+/// must never throw or allocate.  Defined in provenance.cpp.
+void record_throw(void* obj, const std::type_info* type) noexcept;
+
+/// Defined in interpose.cpp.  Referencing it from provenance.cpp forces the
+/// interposer's object file into every link that uses the provenance API,
+/// which is what guarantees our __cxa_throw preempts the C++ runtime's.
+bool interposer_linked() noexcept;
+
+/// True when dlsym(RTLD_NEXT) found the real __cxa_throw to fall through to.
+bool real_throw_ok() noexcept;
+
+}  // namespace fatomic::unwind::detail
+
+#endif  // FATOMIC_PROVENANCE_ACTIVE

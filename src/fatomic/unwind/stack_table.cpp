@@ -1,0 +1,57 @@
+#include "fatomic/unwind/stack_table.hpp"
+
+namespace fatomic::unwind {
+
+namespace {
+
+/// FNV-1a over the PC bytes.  Remapped away from 0 so callers can use 0 as
+/// the "no stack attached" sentinel.
+std::uint64_t hash_pcs(const void* const* pc, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto v = reinterpret_cast<std::uintptr_t>(pc[i]);
+    for (unsigned b = 0; b < sizeof(v); ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace
+
+std::uint64_t StackTable::intern(const void* const* pc, std::size_t n) {
+  if (pc == nullptr || n == 0) return 0;
+  const std::uint64_t id = hash_pcs(pc, n);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stacks_.count(id) != 0) return id;
+  if (stacks_.size() >= capacity_) {
+    ++evictions_;
+    return id;
+  }
+  stacks_.emplace(id, std::vector<const void*>(pc, pc + n));
+  return id;
+}
+
+std::vector<const void*> StackTable::lookup(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stacks_.find(id);
+  return it == stacks_.end() ? std::vector<const void*>{} : it->second;
+}
+
+std::size_t StackTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stacks_.size();
+}
+
+std::uint64_t StackTable::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+StackTable& global_stack_table() {
+  static StackTable table;
+  return table;
+}
+
+}  // namespace fatomic::unwind

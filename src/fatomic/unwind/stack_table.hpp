@@ -1,0 +1,57 @@
+// Bounded intern table for throw-site stacks (DESIGN.md §11).
+//
+// Every captured throw backtrace is a short sequence of raw program-counter
+// values.  Campaigns see the same few throw sites over and over (one per
+// injection point × exception spec, plus the subjects' organic throws), so
+// stacks are interned: the id of a stack is a content hash of its PCs, which
+// makes ids deterministic regardless of which worker thread first observes a
+// site — the property the jobs=1 vs jobs=N canonical-stream guarantee needs.
+// Frame storage is admission-bounded: once `capacity` distinct stacks are
+// retained, further unseen stacks still get their (stable) content id but
+// their frames are dropped and counted, so a pathological throw loop that
+// manufactures unbounded distinct stacks cannot grow memory without bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace fatomic::unwind {
+
+class StackTable {
+ public:
+  /// `capacity` bounds the number of distinct stacks whose frames are
+  /// retained for symbolization; ids themselves are unbounded (content
+  /// hashes, no storage).
+  explicit StackTable(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Interns `n` raw PCs and returns the stack's id: a 64-bit FNV-1a hash
+  /// of the PC sequence, never 0 (0 is the "no stack" sentinel).  Thread
+  /// safe; repeated interning of the same stack is one lock + one map probe.
+  std::uint64_t intern(const void* const* pc, std::size_t n);
+
+  /// The retained PC sequence for `id`, or an empty vector when the id is
+  /// unknown or its frames were dropped at the admission bound.
+  std::vector<const void*> lookup(std::uint64_t id) const;
+
+  /// Distinct stacks whose frames are retained.
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Distinct stacks turned away at the admission bound (frames dropped,
+  /// id still issued).  Surfaced as the provenance.stack_evictions metric.
+  std::uint64_t evictions() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::vector<const void*>> stacks_;
+  std::uint64_t evictions_ = 0;
+};
+
+/// The process-wide table every campaign interns into.  Content addressing
+/// makes sharing across campaigns and worker threads harmless: equal stacks
+/// get equal ids no matter who interns first.
+StackTable& global_stack_table();
+
+}  // namespace fatomic::unwind

@@ -21,6 +21,7 @@
 #include "fatomic/snapshot/diff.hpp"
 #include "fatomic/snapshot/partial.hpp"
 #include "fatomic/snapshot/restore.hpp"
+#include "fatomic/unwind/provenance.hpp"
 #include "fatomic/weave/exception_name.hpp"
 #include "fatomic/weave/method_info.hpp"
 #include "fatomic/weave/runtime.hpp"
@@ -229,9 +230,31 @@ decltype(auto) injected_call(const MethodInfo& mi, Root& root, Fn&& body,
     std::string detail;
     if (!atomic && rt.record_diffs)
       detail = snapshot::first_difference(before.graph(), after.graph());
+    // Episode accounting: marks are appended in propagation order and
+    // within one episode depths strictly decrease, so this wrapper is the
+    // first observer of a new exception exactly when the previous mark sits
+    // at the same or a shallower depth (the classifier's episode rule).
+    const bool new_episode =
+        rt.marks.empty() || rt.marks.back().depth <= rt.depth;
+    if (new_episode) ++rt.stats.exceptions_thrown;
+    // Throw-site provenance: attach the pending capture's interned stack to
+    // the mark, and record one throw-site event per captured throw — the
+    // record serial dedupes the nested wrappers one propagating exception
+    // passes through.
+    std::uint64_t throw_stack = 0;
+    if (rt.provenance) {
+      std::uint64_t serial = 0;
+      throw_stack = unwind::current_throw_stack(&serial);
+      if (throw_stack != 0 && serial != rt.last_throw_serial) {
+        rt.last_throw_serial = serial;
+        if (rt.trace.enabled())
+          rt.trace.instant(trace::EventKind::ThrowSite, &mi, throw_stack,
+                           current_exception_type_name());
+      }
+    }
     rt.marks.push_back(Mark{&mi, atomic, rt.injection_point, rt.depth,
-                            std::move(detail),
-                            current_exception_type_name()});
+                            std::move(detail), current_exception_type_name(),
+                            throw_stack});
     throw;
   }
 }

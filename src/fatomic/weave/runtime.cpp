@@ -34,6 +34,7 @@ void Runtime::begin_run(std::uint64_t threshold) {
   injected_exception.clear();
   depth = 0;
   marks.clear();
+  last_throw_serial = 0;
   trace.set_run(threshold);
 }
 
@@ -42,6 +43,7 @@ void Runtime::adopt_config(const Runtime& src) {
   runtime_exceptions_ = src.runtime_exceptions_;
   wrap_ = src.wrap_;
   record_diffs = src.record_diffs;
+  provenance = src.provenance;
   plans_ = src.plans_;
   plan_memo_.clear();
   validate_checkpoints = src.validate_checkpoints;

@@ -69,6 +69,9 @@ struct Mark {
   /// Consumed by the exception-flow lint, which checks every observed type
   /// against the method's statically computed may-propagate set.
   std::string exception_type;
+  /// Interned throw-site stack id (unwind::StackTable) of the exception this
+  /// mark observed; 0 when provenance is off or no capture matched.
+  std::uint64_t throw_stack = 0;
 };
 
 struct RuntimeStats {
@@ -106,6 +109,11 @@ struct RuntimeStats {
   /// receiver may be partially restored.  Surfaced in campaign JSON so a
   /// corrupted rollback is never silent.
   std::uint64_t restore_errors = 0;
+  /// Exception-propagation episodes observed by the injection wrappers: one
+  /// per distinct throw that passed through at least one wrapper (injected
+  /// or organic).  With provenance enabled this counts captured throws, so
+  /// it equals the number of throw-site attributions made.
+  std::uint64_t exceptions_thrown = 0;
 };
 
 inline RuntimeStats& operator+=(RuntimeStats& a, const RuntimeStats& b) {
@@ -122,6 +130,7 @@ inline RuntimeStats& operator+=(RuntimeStats& a, const RuntimeStats& b) {
   a.memcmp_compares += b.memcmp_compares;
   a.compare_fallbacks += b.compare_fallbacks;
   a.restore_errors += b.restore_errors;
+  a.exceptions_thrown += b.exceptions_thrown;
   return a;
 }
 
@@ -141,6 +150,7 @@ inline RuntimeStats operator-(RuntimeStats after, const RuntimeStats& before) {
   after.memcmp_compares -= before.memcmp_compares;
   after.compare_fallbacks -= before.compare_fallbacks;
   after.restore_errors -= before.restore_errors;
+  after.exceptions_thrown -= before.exceptions_thrown;
   return after;
 }
 
@@ -174,6 +184,18 @@ class Runtime {
   /// When set, non-atomic marks carry a one-line graph-diff explanation
   /// (costs one diff per intercepted exception; off by default).
   bool record_diffs = false;
+  /// When set, injection wrappers consult the unwind capture layer and
+  /// attach interned throw-site stack ids to marks and throw-site trace
+  /// events (unwind/provenance.hpp).  The campaign driver sets this for
+  /// provenance campaigns; requires a live unwind::ScopedArm to observe
+  /// anything.
+  bool provenance = false;
+  /// Serial of the last ThrowRecord this runtime attributed (per-thread
+  /// throw ordinal).  One propagating exception passes through every nested
+  /// wrapper on its way out; comparing serials lets the outer wrappers skip
+  /// re-recording the throw-site event and the exceptions_thrown count the
+  /// innermost wrapper already made.
+  std::uint64_t last_throw_serial = 0;
 
   /// Generic runtime exceptions appended to every method's declared list
   /// (the paper's E_{k+1}..E_n).  Defaults to one InjectedRuntimeError.

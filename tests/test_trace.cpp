@@ -129,6 +129,7 @@ TEST_F(TraceTest, WorkerStatsSumToCampaignStats) {
   EXPECT_EQ(sum.rollbacks, c.stats.rollbacks);
   EXPECT_EQ(sum.wrapped_calls, c.stats.wrapped_calls);
   EXPECT_EQ(sum.checkpoint_units, c.stats.checkpoint_units);
+  EXPECT_EQ(sum.exceptions_thrown, c.stats.exceptions_thrown);
   EXPECT_GE(runs, c.runs.size());
   // With jobs=4 more than one worker must actually have contributed.
   EXPECT_GT(c.worker_stats.size(), 1u);

@@ -15,7 +15,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -54,6 +56,7 @@ struct Args {
   bool mask_partial = false;
   bool validate_checkpoints = false;
   snapshot::BackendKind backend = snapshot::default_backend();
+  bool provenance = false;
   std::string trace_out;
   bool trace_summary = false;
   bool metrics = false;
@@ -137,7 +140,15 @@ int usage(int code) {
       "                         one pid per application)\n"
       "  --trace-summary        per-event-kind timing table on stdout\n"
       "  --metrics              named counters and latency histograms\n"
-      "                         derived from the campaign and its trace\n";
+      "                         derived from the campaign and its trace\n"
+      "  --throw-stacks         capture a backtrace at every campaign throw\n"
+      "                         (__cxa_throw interposition): per-method\n"
+      "                         throw-site histogram on stdout, an\n"
+      "                         'exception_provenance' section in --json\n"
+      "                         campaign output, symbolized stacks in\n"
+      "                         --trace-out events; with --cross-check:\n"
+      "                         verify classifications are bit-identical\n"
+      "                         with and without capture\n";
   return code;
 }
 
@@ -179,6 +190,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.mask_partial = true;
     } else if (a == "--validate-checkpoints") {
       args.validate_checkpoints = true;
+    } else if (a == "--throw-stacks") {
+      args.provenance = true;
     } else if (a == "--trace-summary") {
       args.trace_summary = true;
     } else if (a == "--metrics") {
@@ -244,6 +257,7 @@ fatomic::Config make_config(const Args& args,
   cfg.jobs(args.jobs)
       .record_diffs(args.diffs)
       .tracing(args.want_trace())
+      .provenance(args.provenance)
       .checkpoint_backend(args.backend)
       .validate_checkpoints(args.validate_checkpoints);
   if (prune != nullptr) cfg.prune_atomic(*prune);
@@ -347,6 +361,77 @@ int backend_parity_check(const subjects::apps::App& app, const Args& args) {
   return identical ? 0 : 2;
 }
 
+/// Per-method throw-site histogram on stdout (--throw-stacks).
+void print_provenance(const report::AppResult& result) {
+  if (!result.campaign.provenance) {
+    std::cout << '\n'
+              << result.name
+              << ": throw-stack capture unavailable in this build\n";
+    return;
+  }
+  struct SiteAgg {
+    std::uint64_t count = 0;
+    std::uint64_t escaped = 0;
+  };
+  // Keyed by the rendered site name: distinct stack ids that resolve to the
+  // same throw site (equal innermost subject frame, different callers) are
+  // one row in a human-facing histogram.
+  std::map<std::string, std::map<std::string, SiteAgg>> methods;
+  std::map<std::string, std::uint64_t> escapes;
+  for (const auto& run : result.campaign.runs) {
+    for (const auto& mark : run.marks) {
+      if (mark.throw_stack == 0) continue;
+      SiteAgg& agg = methods[mark.method->qualified_name()]
+                            [fatomic::unwind::site_name(mark.throw_stack)];
+      ++agg.count;
+      if (run.escaped) ++agg.escaped;
+    }
+    if (run.escape_stack != 0)
+      ++escapes[fatomic::unwind::site_name(run.escape_stack)];
+  }
+  std::cout << '\n'
+            << result.name << " throw sites ("
+            << result.campaign.stats.exceptions_thrown
+            << " exceptions observed):\n";
+  for (const auto& [method, site_map] : methods) {
+    std::cout << "  " << method << '\n';
+    for (const auto& [site, agg] : site_map)
+      std::cout << "    " << std::left << std::setw(56) << site << std::right
+                << std::setw(8) << agg.count
+                << (agg.escaped != 0 ? "  (escaped)" : "") << '\n';
+  }
+  if (!escapes.empty()) {
+    std::cout << "  (escaped the program)\n";
+    for (const auto& [site, count] : escapes)
+      std::cout << "    " << std::left << std::setw(56) << site << std::right
+                << std::setw(8) << count << '\n';
+  }
+}
+
+/// Observer-effect gate (--cross-check with --throw-stacks): arming the
+/// __cxa_throw interposer must not change what the campaign concludes — the
+/// same program classifies bit-identically with and without capture.
+int provenance_parity_check(const subjects::apps::App& app, const Args& args) {
+  fatomic::Config off_cfg = make_config(args);
+  off_cfg.provenance(false);
+  fatomic::Config on_cfg = make_config(args);
+  on_cfg.provenance(true);
+  const auto off = run_campaign(app, off_cfg);
+  const auto on = run_campaign(app, on_cfg);
+  const bool identical = report::classification_json(off.classification) ==
+                         report::classification_json(on.classification);
+  std::set<std::uint64_t> sites;
+  for (const auto& run : on.campaign.runs) {
+    for (const auto& mark : run.marks)
+      if (mark.throw_stack != 0) sites.insert(mark.throw_stack);
+    if (run.escape_stack != 0) sites.insert(run.escape_stack);
+  }
+  std::cout << app.name << ": provenance cross-check "
+            << (identical ? "identical" : "DIVERGED") << " (" << sites.size()
+            << " throw sites captured)\n";
+  return identical ? 0 : 2;
+}
+
 int run_one(const Args& args) {
   const auto& app = subjects::apps::app(args.app);
 
@@ -367,9 +452,12 @@ int run_one(const Args& args) {
       std::cout << "  first mismatch: " << cc.mismatch << '\n';
       return 2;
     }
+    int status = 0;
     if (args.backend == snapshot::BackendKind::Arena)
-      return backend_parity_check(app, args);
-    return 0;
+      status = backend_parity_check(app, args);
+    if (args.provenance)
+      status = std::max(status, provenance_parity_check(app, args));
+    return status;
   }
 
   const std::set<std::string> prune =
@@ -420,6 +508,7 @@ int run_one(const Args& args) {
                 << " events)\n";
   }
   emit_trace_outputs(args, result);
+  if (args.provenance) print_provenance(result);
   if (args.suggest) {
     std::cout << "\nexception-free candidates (each fully explains the "
                  "non-atomicity of at least one method):\n";
@@ -488,6 +577,8 @@ int run_all(const Args& args) {
       }
       if (args.backend == snapshot::BackendKind::Arena)
         status = std::max(status, backend_parity_check(app, args));
+      if (args.provenance)
+        status = std::max(status, provenance_parity_check(app, args));
     }
     return status;
   }
@@ -513,6 +604,7 @@ int run_all(const Args& args) {
            report::campaign_json(result.campaign));
     }
     emit_trace_outputs(args, result);
+    if (args.provenance) print_provenance(result);
   }
   if (!args.trace_out.empty()) {
     const std::string path = out_path(args, args.trace_out);
