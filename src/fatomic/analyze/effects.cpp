@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <cstddef>
 #include <limits>
 
@@ -95,15 +97,28 @@ struct Event {
   /// enclosing method's write set to ⊤.
   std::vector<std::string> targets;
   bool target_unknown = false;
+  /// For via_param events: which of the enclosing function's parameter
+  /// positions the write flows through.  Empty means "could not determine"
+  /// and poisons the summary's position set (callers fall back to whole
+  /// argument-list tracking).
+  std::set<std::size_t> via_positions;
 };
 
 struct Ctx {
   const SourceModel* model;
+  const AnalyzeOptions* opts;
   /// Summaries keyed "Class::helper" / free "helper".
   const std::map<std::string, FnSummary>* by_key;
   /// Summaries merged over every definition sharing a simple name — the
   /// sound resolution for calls whose receiver type is unknown.
   const std::map<std::string, FnSummary>* by_name;
+  /// Qualified class names of scanned definitions, by simple name — the
+  /// candidate set for receiver-typed call resolution.
+  const std::map<std::string, std::set<std::string>>* def_classes_by_simple;
+  /// Simple class names with any dynamic-dispatch risk (FAT_POLY, or on
+  /// either side of an inheritance edge): receiver-typed resolution must
+  /// not narrow calls through these, an unscanned override could run.
+  const std::set<std::string>* dispatch_risky;
 };
 
 /// Scans one function body, producing effect events against the current
@@ -112,11 +127,14 @@ class BodyScan {
  public:
   BodyScan(const Tokens& body, const FunctionDef& def, const Ctx& ctx)
       : body_(body), def_(def), ctx_(ctx) {
-    for (const Param& p : def.params) {
+    for (std::size_t i = 0; i < def.params.size(); ++i) {
+      const Param& p = def.params[i];
       if (p.name.empty()) continue;
       params_[p.name] = !p.is_const && (p.is_ref || p.is_ptr);
+      param_pos_[p.name] = i;
     }
     compute_loops();
+    compute_trys();
   }
 
   void run();
@@ -131,6 +149,8 @@ class BodyScan {
     /// so reassignment keeps it untracked no matter the right-hand side.
     bool value_type = false;
   };
+
+  bool cs() const { return ctx_.opts->context_sensitive; }
 
   const std::string& tk(std::size_t i) const {
     static const std::string empty;
@@ -209,6 +229,39 @@ class BodyScan {
     return {any, any && !env};
   }
 
+  /// Parameter positions referenced by tracked-parameter bases in [b, e).
+  std::set<std::size_t> expr_positions(std::size_t b, std::size_t e) const {
+    std::set<std::size_t> out;
+    for (std::size_t k = b; k < e; ++k) {
+      if (!base_ident_at(k, b)) continue;
+      if (classify(tk(k)) != Kind::TrackedParam) continue;
+      auto it = param_pos_.find(tk(k));
+      if (it != param_pos_.end()) out.insert(it->second);
+    }
+    return out;
+  }
+
+  /// Splits the argument list in (open, close) at top-level commas into
+  /// [begin, end) token ranges.  Empty for a zero-argument call.
+  std::vector<std::pair<std::size_t, std::size_t>> split_args(
+      std::size_t open, std::size_t close) const {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    if (close <= open + 1) return out;
+    int depth = 0;
+    std::size_t b = open + 1;
+    for (std::size_t k = open + 1; k < close; ++k) {
+      const std::string& t = tk(k);
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      else if (t == ")" || t == "]" || t == "}") --depth;
+      else if (t == "," && depth == 0) {
+        out.push_back({b, k});
+        b = k + 1;
+      }
+    }
+    out.push_back({b, close});
+    return out;
+  }
+
   /// Does the initializer expression denote freshly owned storage (writes
   /// through the declared pointer cannot reach any caller-visible object)?
   bool expr_fresh(std::size_t b, std::size_t e) const {
@@ -233,6 +286,8 @@ class BodyScan {
   struct Chain {
     bool deref = false;
     Kind base = Kind::None;
+    /// Base identifier the chain starts from (classified into `base`).
+    std::string base_name;
     /// Identifier nearest the end of the chain — the immediate receiver of
     /// a member call (`children` in `root_->children.push_back`).  Empty
     /// when the chain ends in a call or index result.
@@ -293,7 +348,10 @@ class BodyScan {
       }
       break;
     }
-    if (!base.empty()) c.base = classify(base);
+    if (!base.empty()) {
+      c.base = classify(base);
+      c.base_name = base;
+    }
     return c;
   }
 
@@ -331,29 +389,83 @@ class BodyScan {
       }
       break;
     }
-    if (!base.empty()) c.base = classify(base);
+    if (!base.empty()) {
+      c.base = classify(base);
+      c.base_name = base;
+    }
     c.recv_starred = leading_star;
     return c;
   }
 
+  /// Parameter position of a chain's base, when it is a tracked parameter.
+  std::set<std::size_t> chain_positions(const Chain& c) const {
+    std::set<std::size_t> out;
+    if (c.base == Kind::TrackedParam) {
+      auto it = param_pos_.find(c.base_name);
+      if (it != param_pos_.end()) out.insert(it->second);
+    }
+    return out;
+  }
+
+  /// Caller-side write target for an argument expression: when [b, e) is a
+  /// pure member chain (`head_`, `other.head_`), the written state lives
+  /// inside that named subtree.  Calls, indexing, dereferences, and local
+  /// names yield no usable target.
+  std::pair<std::string, bool> arg_target(std::size_t b, std::size_t e) const {
+    for (std::size_t k = b; k < e; ++k) {
+      const std::string& t = tk(k);
+      if (t == "." || t == "->" || t == "::") continue;
+      if (!is_ident(t) || keywords().count(t) || is_number(t))
+        return {"", false};
+    }
+    const Chain c = chain_before(e);
+    if (c.recv_name.empty() || c.recv_starred) return {"", false};
+    if (locals_.count(c.recv_name)) return {"", false};
+    return {c.recv_name, true};
+  }
+
   void compute_loops();
+  void compute_trys();
+  /// Can an exception raised at `pos` (of type `type`; empty = unknown,
+  /// e.g. an injected exception or an unresolved call) escape this
+  /// function, given the enclosing try/catch nesting?  `catch (...)`
+  /// stops anything; a typed handler stops exactly its own type and
+  /// scanned derived types.
+  bool throw_escapes(std::size_t pos, const std::string& type) const;
+  bool handler_matches(const std::string& handler,
+                       const std::string& type) const;
+
   void emit(std::size_t pos, bool mut, bool thr, bool via_param,
-            std::vector<std::string> targets = {}, bool target_unknown = true);
+            std::vector<std::string> targets = {}, bool target_unknown = true,
+            std::set<std::size_t> via_positions = {});
   /// Mutation with at most one named target; `target_valid` is false when
   /// the name does not denote the written member (starred/empty chains).
   void emit_mut(std::size_t pos, Kind base, const std::string& target = "",
-                bool target_valid = false) {
+                bool target_valid = false,
+                std::set<std::size_t> via_positions = {}) {
     const bool named = target_valid && !target.empty();
     emit(pos, true, false, base == Kind::TrackedParam,
          named ? std::vector<std::string>{target} : std::vector<std::string>{},
-         !named);
+         !named, std::move(via_positions));
   }
   /// Mutation whose targets come from a callee summary's write-name set.
   void emit_mut_set(std::size_t pos, Kind base,
-                    const std::set<std::string>& names, bool unknown) {
+                    const std::set<std::string>& names, bool unknown,
+                    std::set<std::size_t> via_positions = {}) {
     emit(pos, true, false, base == Kind::TrackedParam,
-         std::vector<std::string>(names.begin(), names.end()), unknown);
+         std::vector<std::string>(names.begin(), names.end()), unknown,
+         std::move(via_positions));
   }
+
+  /// Param-mutation events for a call to a summarized callee.  Context-
+  /// sensitive mode re-evaluates only the argument expressions at the
+  /// callee's written parameter positions (and names the written subtree
+  /// from the argument chain itself); otherwise any tracked argument
+  /// anywhere in the list counts, with the callee's own write names.
+  void emit_param_writes(std::size_t i, std::size_t close, const FnSummary& s);
+  /// Mutation events for a library call that may write through any tracked
+  /// argument (std::move, generic algorithms, unknown member calls' args).
+  void tracked_args_mut(std::size_t i, std::size_t close);
 
   const FnSummary* lookup_key(const std::string& key) const {
     auto it = ctx_.by_key->find(key);
@@ -364,8 +476,19 @@ class BodyScan {
     return it == ctx_.by_name->end() ? nullptr : &it->second;
   }
 
+  /// Pass 4 receiver-typed call resolution: when the receiver's declared
+  /// type names specific scanned classes — none of them dispatch-risky —
+  /// the call can only reach those classes' definitions, so exactly their
+  /// by-key summaries merge (instead of the by-name union over every class
+  /// sharing the method name).  Fails (returns false) whenever the
+  /// receiver, its declared type, or any named class is unknown: callers
+  /// keep the conservative resolution.
+  bool receiver_summary(const Chain& recv, const std::string& method,
+                        FnSummary* out) const;
+
   void handle_call(std::size_t i);
   bool try_decl(std::size_t i, std::size_t& next);
+  bool try_lambda(std::size_t i, std::size_t& next);
 
   /// True when the immediate receiver is a declared member or variable
   /// whose type mentions none of the classes instrumenting `method` — e.g.
@@ -388,11 +511,22 @@ class BodyScan {
     return true;
   }
 
+  struct TryRegion {
+    std::size_t body_b = 0, body_e = 0;  ///< try-block body token range
+    bool catches_all = false;            ///< has a `catch (...)` handler
+    std::vector<std::string> handler_types;  ///< simple type names
+  };
+
   const Tokens& body_;
   const FunctionDef& def_;
   const Ctx& ctx_;
   std::map<std::string, Var> locals_;
   std::map<std::string, bool> params_;  ///< name -> tracked
+  std::map<std::string, std::size_t> param_pos_;
+  std::vector<TryRegion> trys_;
+  /// Simple type name of the explicit `throw` currently being emitted
+  /// (empty otherwise): lets emit() consult typed catch handlers.
+  std::string throw_hint_;
   /// Outermost loop interval covering each token, or npos.
   std::vector<std::size_t> loop_start_, loop_end_;
 
@@ -440,8 +574,90 @@ void BodyScan::compute_loops() {
   }
 }
 
+void BodyScan::compute_trys() {
+  // Every `try { body } catch (T1) {h1} catch (T2) {h2} ...` in the body,
+  // including nested ones (the linear scan revisits inner try tokens).
+  // Handler bodies are deliberately outside the recorded range: a throw in
+  // a handler — including a `throw;` rethrow — is only covered by *outer*
+  // try blocks, which is exactly C++'s semantics.
+  for (std::size_t i = 0; i + 1 < body_.size(); ++i) {
+    if (tk(i) != "try" || tk(i + 1) != "{") continue;
+    TryRegion r;
+    const std::size_t body_close = match_fwd(i + 1, "{", "}");
+    if (body_close >= body_.size()) continue;
+    r.body_b = i + 2;
+    r.body_e = body_close;
+    std::size_t k = body_close + 1;
+    while (tk(k) == "catch" && tk(k + 1) == "(") {
+      const std::size_t pclose = match_fwd(k + 1, "(", ")");
+      if (pclose >= body_.size()) break;
+      std::vector<std::string> idents;
+      bool all = false;
+      for (std::size_t m = k + 2; m < pclose; ++m) {
+        const std::string& t = tk(m);
+        if (t == "..." || t == ".") all = true;
+        if (is_ident(t) && t != "const" && !builtin_types().count(t))
+          idents.push_back(t);
+      }
+      if (all) {
+        r.catches_all = true;
+      } else if (!idents.empty()) {
+        // Drop a trailing variable name (`catch (const E& e)`): the last
+        // identifier is the variable exactly when it sits right before `)`
+        // after another identifier or a declarator token.
+        if (idents.size() >= 2 && is_ident(tk(pclose - 1)) &&
+            tk(pclose - 1) == idents.back())
+          idents.pop_back();
+        r.handler_types.push_back(idents.back());
+      }
+      if (tk(pclose + 1) != "{") break;
+      k = match_fwd(pclose + 1, "{", "}") + 1;
+    }
+    trys_.push_back(r);
+  }
+}
+
+bool BodyScan::handler_matches(const std::string& handler,
+                               const std::string& type) const {
+  if (handler == type) return true;
+  // handler is a (transitive) base of the thrown type, per the scanned
+  // inheritance edges.  Unknown bases simply end the walk: no match, the
+  // throw keeps propagating — conservative.
+  std::vector<std::string> work{type};
+  std::set<std::string> seen;
+  while (!work.empty()) {
+    const std::string cur = work.back();
+    work.pop_back();
+    if (!seen.insert(cur).second) continue;
+    auto it = ctx_.model->bases.find(cur);
+    if (it == ctx_.model->bases.end()) continue;
+    for (const std::string& b : it->second) {
+      if (b == handler) return true;
+      work.push_back(b);
+    }
+  }
+  return false;
+}
+
+bool BodyScan::throw_escapes(std::size_t pos, const std::string& type) const {
+  for (const TryRegion& r : trys_) {
+    if (pos < r.body_b || pos >= r.body_e) continue;
+    if (r.catches_all) return false;
+    if (type.empty()) continue;  // unknown type: only catch (...) is certain
+    for (const std::string& h : r.handler_types)
+      if (handler_matches(h, type)) return false;
+  }
+  return true;
+}
+
 void BodyScan::emit(std::size_t pos, bool mut, bool thr, bool via_param,
-                    std::vector<std::string> targets, bool target_unknown) {
+                    std::vector<std::string> targets, bool target_unknown,
+                    std::set<std::size_t> via_positions) {
+  // Catch-clause-aware suppression (Pass 4): a throw that provably cannot
+  // leave the function is no injection-ordering constraint for callers.
+  // The decision uses the original position — loop widening never moves an
+  // event across the braces of a try block that contains the loop.
+  if (thr && cs() && !throw_escapes(pos, throw_hint_)) thr = false;
   if (mut) {
     Event ev;
     ev.pos = pos < loop_start_.size() && loop_start_[pos] != npos
@@ -451,6 +667,7 @@ void BodyScan::emit(std::size_t pos, bool mut, bool thr, bool via_param,
     ev.via_param = via_param;
     ev.targets = std::move(targets);
     ev.target_unknown = target_unknown;
+    ev.via_positions = std::move(via_positions);
     events.push_back(std::move(ev));
   }
   if (thr) {
@@ -462,13 +679,111 @@ void BodyScan::emit(std::size_t pos, bool mut, bool thr, bool via_param,
   }
 }
 
+void BodyScan::emit_param_writes(std::size_t i, std::size_t close,
+                                 const FnSummary& s) {
+  if (!s.mutates_params) return;
+  if (cs() && !s.param_positions_unknown && !s.write_param_positions.empty()) {
+    const auto args = split_args(i + 1, close);
+    bool in_range = true;
+    for (std::size_t p : s.write_param_positions)
+      if (p >= args.size()) in_range = false;
+    if (in_range) {
+      for (std::size_t p : s.write_param_positions) {
+        const auto [b, e] = args[p];
+        const auto [arg_tracked, arg_param_only] = expr_state(b, e);
+        if (!arg_tracked) continue;
+        const auto [tname, tvalid] = arg_target(b, e);
+        emit(i, true, false, arg_param_only,
+             tvalid ? std::vector<std::string>{tname}
+                    : std::vector<std::string>{},
+             !tvalid,
+             arg_param_only ? expr_positions(b, e) : std::set<std::size_t>{});
+      }
+      return;
+    }
+  }
+  const auto [args_tracked, args_param_only] = expr_state(i + 2, close);
+  if (!args_tracked) return;
+  emit_mut_set(i, args_param_only ? Kind::TrackedParam : Kind::Env,
+               s.param_writes, s.param_writes_unknown,
+               args_param_only ? expr_positions(i + 2, close)
+                               : std::set<std::size_t>{});
+}
+
+void BodyScan::tracked_args_mut(std::size_t i, std::size_t close) {
+  if (!cs()) {
+    const auto [args_tracked, args_param_only] = expr_state(i + 2, close);
+    if (args_tracked)
+      emit_mut(i, args_param_only ? Kind::TrackedParam : Kind::Env);
+    return;
+  }
+  for (const auto& [b, e] : split_args(i + 1, close)) {
+    const auto [arg_tracked, arg_param_only] = expr_state(b, e);
+    if (!arg_tracked) continue;
+    const auto [tname, tvalid] = arg_target(b, e);
+    emit(i, true, false, arg_param_only,
+         tvalid ? std::vector<std::string>{tname} : std::vector<std::string>{},
+         !tvalid,
+         arg_param_only ? expr_positions(b, e) : std::set<std::size_t>{});
+  }
+}
+
+bool BodyScan::receiver_summary(const Chain& recv, const std::string& method,
+                                FnSummary* out) const {
+  if (!cs() || recv.recv_name.empty() || recv.recv_starred) return false;
+  auto ft = ctx_.model->declared_types.find(recv.recv_name);
+  if (ft == ctx_.model->declared_types.end()) return false;
+  const std::string& type = ft->second;
+  // Exact ident-word scan of the merged declared type (substring matching
+  // would confuse LinkedList with LinkedListFixed).
+  std::set<std::string> words;
+  std::string w;
+  for (char c : type) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      w.push_back(c);
+    } else if (!w.empty()) {
+      words.insert(w);
+      w.clear();
+    }
+  }
+  if (!w.empty()) words.insert(w);
+  FnSummary merged;
+  bool any = false;
+  for (const std::string& word : words) {
+    auto cit = ctx_.def_classes_by_simple->find(word);
+    if (cit == ctx_.def_classes_by_simple->end()) continue;
+    if (ctx_.dispatch_risky->count(word)) return false;
+    for (const std::string& qualified : cit->second) {
+      const FnSummary* s = lookup_key(qualified + "::" + method);
+      // A class named in the type without a scanned definition of the
+      // method means the real callee may be unscanned: no narrowing.
+      if (s == nullptr) return false;
+      any = true;
+      merged.mutates_env |= s->mutates_env;
+      merged.mutates_params |= s->mutates_params;
+      merged.may_throw |= s->may_throw;
+      merged.catches |= s->catches;
+      merged.writes_unknown |= s->writes_unknown;
+      merged.param_writes_unknown |= s->param_writes_unknown;
+      merged.param_positions_unknown |= s->param_positions_unknown;
+      merged.writes.insert(s->writes.begin(), s->writes.end());
+      merged.param_writes.insert(s->param_writes.begin(),
+                                 s->param_writes.end());
+      merged.write_param_positions.insert(s->write_param_positions.begin(),
+                                          s->write_param_positions.end());
+    }
+  }
+  if (!any) return false;
+  *out = merged;
+  return true;
+}
+
 /// A call expression `name(` at token i: classify it and emit its events.
 void BodyScan::handle_call(std::size_t i) {
   const std::string& name = tk(i);
   const std::string prev = i > 0 ? tk(i - 1) : "";
   const std::size_t close = match_fwd(i + 1, "(", ")");
   const auto [args_tracked, args_param_only] = expr_state(i + 2, close);
-  const Kind arg_kind = args_param_only ? Kind::TrackedParam : Kind::Env;
 
   if (name.rfind("FAT_", 0) == 0) return;
 
@@ -480,26 +795,28 @@ void BodyScan::handle_call(std::size_t i) {
       leading = tk(static_cast<std::size_t>(j) - 1);
     if (leading == "std") {
       if (name == "move" || name == "forward") {
-        // Move-steal: the argument's guts are gone afterwards.
-        if (args_tracked) emit_mut(i, arg_kind);
+        // Move-steal: the argument's guts are gone afterwards — a write to
+        // exactly the moved-from chain.
+        tracked_args_mut(i, close);
         return;
       }
       if (pure_std_calls().count(name)) return;
       // Generic algorithm: may mutate through whatever it was handed, but
       // contains no injection point (the fault model injects only at
       // instrumented methods — DESIGN.md §7).
-      if (args_tracked) emit_mut(i, arg_kind);
+      tracked_args_mut(i, close);
       return;
     }
     if (const FnSummary* s = lookup_name(name)) {
       if (s->mutates_env)
         emit_mut_set(i, Kind::Env, s->writes, s->writes_unknown);
-      if (s->mutates_params && args_tracked)
-        emit_mut_set(i, arg_kind, s->param_writes, s->param_writes_unknown);
+      emit_param_writes(i, close, *s);
       emit(i, false, s->may_throw, false);
       return;
     }
-    emit(i, args_tracked, true, args_param_only);  // unknown qualified call
+    emit(i, args_tracked, true, args_param_only, {}, true,
+         args_param_only ? expr_positions(i + 2, close)
+                         : std::set<std::size_t>{});  // unknown qualified call
     return;
   }
 
@@ -521,7 +838,21 @@ void BodyScan::handle_call(std::size_t i) {
         // mis-resolve to it.  Library treatment: mutation only.  The write
         // lands inside the named member (`head_.reset()` rewrites head_).
         if (recv_tracked)
-          emit_mut(i, recv_kind, recv.recv_name, !recv.recv_starred);
+          emit_mut(i, recv_kind, recv.recv_name, !recv.recv_starred,
+                   chain_positions(recv));
+        return;
+      }
+      // Receiver-typed narrowing first: when the declared type pins the
+      // receiver to specific scanned classes, their merged summary decides
+      // both the write set and fallibility (may_throw already folds the
+      // injection point for instrumented definitions).
+      FnSummary rs;
+      if (receiver_summary(recv, name, &rs)) {
+        if (recv_tracked && rs.mutates_env)
+          emit_mut_set(i, recv_kind, rs.writes, rs.writes_unknown,
+                       chain_positions(recv));
+        emit_param_writes(i, close, rs);
+        emit(i, false, rs.may_throw, false);
         return;
       }
       // Potential injection point no matter the receiver type; mutation
@@ -529,15 +860,25 @@ void BodyScan::handle_call(std::size_t i) {
       // caller-visible.
       const FnSummary* s = lookup_name(name);
       if (recv_tracked && s != nullptr && s->mutates_env)
-        emit_mut_set(i, recv_kind, s->writes, s->writes_unknown);
+        emit_mut_set(i, recv_kind, s->writes, s->writes_unknown,
+                     chain_positions(recv));
       emit(i, false, true, false);
+      return;
+    }
+    FnSummary rs;
+    if (receiver_summary(recv, name, &rs)) {
+      if (rs.mutates_env && recv_tracked)
+        emit_mut_set(i, recv_kind, rs.writes, rs.writes_unknown,
+                     chain_positions(recv));
+      emit_param_writes(i, close, rs);
+      emit(i, false, rs.may_throw, false);
       return;
     }
     if (const FnSummary* s = lookup_name(name)) {
       if (s->mutates_env && recv_tracked)
-        emit_mut_set(i, recv_kind, s->writes, s->writes_unknown);
-      if (s->mutates_params && args_tracked)
-        emit_mut_set(i, arg_kind, s->param_writes, s->param_writes_unknown);
+        emit_mut_set(i, recv_kind, s->writes, s->writes_unknown,
+                     chain_positions(recv));
+      emit_param_writes(i, close, *s);
       emit(i, false, s->may_throw, false);
       return;
     }
@@ -548,17 +889,23 @@ void BodyScan::handle_call(std::size_t i) {
     // no injection point inside.  The mutation stays within the receiver
     // chain's final member (`root_->children.push_back(x)` writes children).
     if (recv_tracked)
-      emit_mut(i, recv_kind, recv.recv_name, !recv.recv_starred);
+      emit_mut(i, recv_kind, recv.recv_name, !recv.recv_starred,
+               chain_positions(recv));
     return;
   }
 
   // Unqualified call: a sibling/self call or a free function.
   if (ctx_.model->instrumented_names.count(name)) {
-    const FnSummary* s = lookup_name(name);
+    // An unqualified call from a member function resolves to the same
+    // class's member when one exists — its exact by-key summary beats the
+    // by-name union over every class sharing the (instrumented) name.
+    const FnSummary* s = nullptr;
+    if (cs() && !def_.class_name.empty())
+      s = lookup_key(def_.class_name + "::" + name);
+    if (s == nullptr) s = lookup_name(name);
     if (s != nullptr && s->mutates_env)
       emit_mut_set(i, Kind::Env, s->writes, s->writes_unknown);
-    if (s != nullptr && s->mutates_params && args_tracked)
-      emit_mut_set(i, arg_kind, s->param_writes, s->param_writes_unknown);
+    if (s != nullptr) emit_param_writes(i, close, *s);
     emit(i, false, true, false);
     return;
   }
@@ -569,8 +916,7 @@ void BodyScan::handle_call(std::size_t i) {
   if (s != nullptr) {
     if (s->mutates_env)
       emit_mut_set(i, Kind::Env, s->writes, s->writes_unknown);
-    if (s->mutates_params && args_tracked)
-      emit_mut_set(i, arg_kind, s->param_writes, s->param_writes_unknown);
+    emit_param_writes(i, close, *s);
     emit(i, false, s->may_throw, false);
     return;
   }
@@ -579,7 +925,9 @@ void BodyScan::handle_call(std::size_t i) {
   // fallible, and mutating when handed anything tracked.  With only safe
   // arguments it cannot reach caller-visible state — the subjects use no
   // mutable globals (DESIGN.md §7 assumptions).
-  emit(i, args_tracked, true, args_param_only);
+  emit(i, args_tracked, true, args_param_only, {}, true,
+       args_param_only ? expr_positions(i + 2, close)
+                       : std::set<std::size_t>{});
 }
 
 /// Tries to parse a local-variable declaration at statement start; on
@@ -690,6 +1038,37 @@ bool BodyScan::try_decl(std::size_t i, std::size_t& next) {
   return true;
 }
 
+/// Registers the by-value parameters of a lambda introducer at `i` as
+/// value-type locals (a continuation's `p` must not classify as Env, which
+/// turned `rep(p)` into a phantom environment write).  Reference parameters
+/// stay unregistered: writing through them aliases caller state, and the
+/// conservative Env classification is the sound one.
+bool BodyScan::try_lambda(std::size_t i, std::size_t& next) {
+  if (!cs() || tk(i) != "[") return false;
+  const std::string prevt = i > 0 ? tk(i - 1) : ";";
+  // Expression position only: after an identifier, `)`, or `]` the bracket
+  // is an index, not a lambda introducer.
+  if (is_ident(prevt) || is_number(prevt) || prevt == ")" || prevt == "]")
+    return false;
+  const std::size_t cb = match_fwd(i, "[", "]");
+  if (cb >= body_.size() || tk(cb + 1) != "(") return false;
+  const std::size_t pc = match_fwd(cb + 1, "(", ")");
+  if (pc >= body_.size()) return false;
+  for (const auto& [b, e] : split_args(cb + 1, pc)) {
+    bool by_ref = false;
+    std::string last_ident;
+    for (std::size_t k = b; k < e; ++k) {
+      const std::string& t = tk(k);
+      if (t == "&" || t == "&&" || t == "*") by_ref = true;
+      if (is_ident(t) && !keywords().count(t) && !is_number(t)) last_ident = t;
+    }
+    if (!by_ref && !last_ident.empty())
+      locals_[last_ident] = Var{false, true};
+  }
+  next = pc + 1;
+  return true;
+}
+
 void BodyScan::run() {
   bool stmt_start = true;
   std::size_t i = 0;
@@ -705,10 +1084,33 @@ void BodyScan::run() {
       ++i;
       continue;
     }
+    if (t == "[") {
+      std::size_t next = i;
+      if (try_lambda(i, next)) {
+        i = next;
+        continue;
+      }
+      ++i;
+      continue;
+    }
     if (t == "throw") {
       // The thrown expression's constructor runs before anything can have
-      // been mutated by it; suppress its call events.
+      // been mutated by it; suppress its call events.  When the expression
+      // is a visible constructor call, its type name lets typed catch
+      // handlers of enclosing try blocks stop the propagation; a bare
+      // `throw;` or a rethrown variable keeps the unknown type.
+      std::size_t j = i + 1;
+      if (is_ident(tk(j)) && !keywords().count(tk(j))) {
+        std::string last = tk(j);
+        ++j;
+        while (tk(j) == "::" && is_ident(tk(j + 1))) {
+          last = tk(j + 1);
+          j += 2;
+        }
+        if (tk(j) == "(" || tk(j) == "{") throw_hint_ = last;
+      }
       emit(i, false, true, false);
+      throw_hint_.clear();
       i = stmt_end(i) + 1;
       stmt_start = true;
       continue;
@@ -725,7 +1127,7 @@ void BodyScan::run() {
       // The named pointer's graph is destroyed — a structural write to the
       // member holding it (its pointer type keeps it out of partial plans).
       if (tracked(c.base))
-        emit_mut(i, c.base, c.recv_name, !c.recv_starred);
+        emit_mut(i, c.base, c.recv_name, !c.recv_starred, chain_positions(c));
       ++i;
       continue;
     }
@@ -749,9 +1151,10 @@ void BodyScan::run() {
       const Chain c = chain_before(i);
       if (c.deref) {
         if (tracked(c.base))
-          emit_mut(i, c.base, c.recv_name, !c.recv_starred);
+          emit_mut(i, c.base, c.recv_name, !c.recv_starred,
+                   chain_positions(c));
       } else if (c.base == Kind::Env || c.base == Kind::TrackedParam) {
-        emit_mut(i, c.base, c.recv_name, !c.recv_starred);
+        emit_mut(i, c.base, c.recv_name, !c.recv_starred, chain_positions(c));
       } else if (t == "=" &&
                  (c.base == Kind::Fresh || c.base == Kind::TrackedLocal)) {
         // Reassigning a local pointer: its freshness follows the new value.
@@ -775,7 +1178,7 @@ void BodyScan::run() {
                   : (c.base == Kind::Env || c.base == Kind::TrackedParam))
         emit_mut(i,
                  c.base == Kind::TrackedParam ? Kind::TrackedParam : Kind::Env,
-                 c.recv_name, !c.recv_starred);
+                 c.recv_name, !c.recv_starred, chain_positions(c));
       ++i;
       continue;
     }
@@ -785,7 +1188,7 @@ void BodyScan::run() {
       const Chain c = chain_before(i);
       if (c.base == Kind::Env || c.base == Kind::TrackedParam ||
           c.base == Kind::TrackedLocal)
-        emit_mut(i, c.base, c.recv_name, !c.recv_starred);
+        emit_mut(i, c.base, c.recv_name, !c.recv_starred, chain_positions(c));
       ++i;
       continue;
     }
@@ -834,9 +1237,15 @@ const ClassModel* class_of(const SourceModel& model, const std::string& cls) {
   return nullptr;
 }
 
+std::string simple_of(const std::string& qualified) {
+  const std::size_t sep = qualified.rfind("::");
+  return sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+}
+
 }  // namespace
 
-EffectAnalysis analyze_effects(const SourceModel& model) {
+EffectAnalysis analyze_effects(const SourceModel& model,
+                               const AnalyzeOptions& opts) {
   struct Scanned {
     const FunctionDef* def;
     Tokens body;  ///< effective body (invoke lambda for instrumented defs)
@@ -858,22 +1267,77 @@ EffectAnalysis analyze_effects(const SourceModel& model) {
     defs.push_back(std::move(s));
   }
 
+  // Receiver-typed resolution inputs: which qualified classes own scanned
+  // definitions per simple name, and which simple names carry any dynamic-
+  // dispatch risk (FAT_POLY registration or either side of an inheritance
+  // edge) — narrowing through those could miss an unscanned override.
+  std::map<std::string, std::set<std::string>> def_classes_by_simple;
+  for (const Scanned& s : defs)
+    if (!s.def->class_name.empty())
+      def_classes_by_simple[simple_of(s.def->class_name)].insert(
+          s.def->class_name);
+  std::set<std::string> dispatch_risky;
+  for (const std::string& q : model.poly_classes)
+    dispatch_risky.insert(simple_of(q));
+  for (const auto& [derived, bs] : model.bases) {
+    dispatch_risky.insert(derived);
+    for (const std::string& b : bs) dispatch_risky.insert(simple_of(b));
+  }
+
   // Optimistic interprocedural fixpoint: summary bits start false and the
   // scan is monotone in them, so iteration converges; recursion and sibling
   // calls settle within the depth of the call DAG's SCC structure.
   std::map<std::string, FnSummary> by_key, by_name;
-  Ctx ctx{&model, &by_key, &by_name};
-  for (int round = 0; round < 10; ++round) {
+  Ctx ctx{&model, &opts, &by_key, &by_name, &def_classes_by_simple,
+          &dispatch_risky};
+  // Seed every scanned definition with the bottom (empty) summary so round
+  // 0 lookups of not-yet-visited keys — self-recursion, forward references
+  // — resolve to "no effects yet" instead of falling into the unknown-call
+  // fallback, whose conservative event would stick forever through the
+  // monotone merge.  This is the textbook least-fixpoint start; the
+  // context-insensitive mode keeps the historical behaviour.
+  if (opts.context_sensitive) {
+    for (const Scanned& s : defs) {
+      by_key[s.key];
+      by_name[s.def->name];
+    }
+  }
+  // The cap is a backstop: iteration normally breaks on !changed within a
+  // handful of rounds (the call DAG's SCC depth).  It is generous because
+  // the seeded (bottom-up) iteration must actually reach its fixpoint to be
+  // sound — stopping early would under-approximate.
+  for (int round = 0; round < 50; ++round) {
     bool changed = false;
     for (const Scanned& s : defs) {
       BodyScan scan(s.body, *s.def, ctx);
       scan.run();
+      if (const char* want = std::getenv("FATOMIC_ANALYZE_DEBUG_HELPER");
+          want != nullptr && round == 0 &&
+          s.key.find(want) != std::string::npos) {
+        std::fprintf(stderr, "== helper %s (%s)\n", s.key.c_str(),
+                     s.def->file.c_str());
+        for (const Event& ev : scan.events) {
+          std::string around;
+          for (std::size_t m = ev.pos; m < ev.pos + 8 && m < s.body.size();
+               ++m)
+            around += s.body[m].text + " ";
+          std::fprintf(stderr,
+                       "  pos=%zu mut=%d thr=%d via_param=%d unk=%d | %s\n",
+                       ev.pos, ev.mut, ev.thr, ev.via_param, ev.target_unknown,
+                       around.c_str());
+        }
+      }
       FnSummary next;
       for (const Event& ev : scan.events) {
         if (ev.mut && ev.via_param) {
           next.mutates_params = true;
           if (ev.target_unknown) next.param_writes_unknown = true;
           next.param_writes.insert(ev.targets.begin(), ev.targets.end());
+          if (ev.via_positions.empty())
+            next.param_positions_unknown = true;
+          else
+            next.write_param_positions.insert(ev.via_positions.begin(),
+                                              ev.via_positions.end());
         }
         if (ev.mut && !ev.via_param) {
           next.mutates_env = true;
@@ -892,16 +1356,22 @@ EffectAnalysis analyze_effects(const SourceModel& model) {
       merged.catches |= next.catches;
       merged.writes_unknown |= next.writes_unknown;
       merged.param_writes_unknown |= next.param_writes_unknown;
+      merged.param_positions_unknown |= next.param_positions_unknown;
       merged.writes.insert(next.writes.begin(), next.writes.end());
       merged.param_writes.insert(next.param_writes.begin(),
                                  next.param_writes.end());
+      merged.write_param_positions.insert(next.write_param_positions.begin(),
+                                          next.write_param_positions.end());
       if (merged.mutates_env != cur.mutates_env ||
           merged.mutates_params != cur.mutates_params ||
           merged.may_throw != cur.may_throw ||
           merged.catches != cur.catches ||
           merged.writes_unknown != cur.writes_unknown ||
           merged.param_writes_unknown != cur.param_writes_unknown ||
-          merged.writes != cur.writes || merged.param_writes != cur.param_writes)
+          merged.param_positions_unknown != cur.param_positions_unknown ||
+          merged.writes != cur.writes ||
+          merged.param_writes != cur.param_writes ||
+          merged.write_param_positions != cur.write_param_positions)
         changed = true;
       cur = merged;
     }
@@ -915,9 +1385,12 @@ EffectAnalysis analyze_effects(const SourceModel& model) {
       dst.catches |= src.catches;
       dst.writes_unknown |= src.writes_unknown;
       dst.param_writes_unknown |= src.param_writes_unknown;
+      dst.param_positions_unknown |= src.param_positions_unknown;
       dst.writes.insert(src.writes.begin(), src.writes.end());
       dst.param_writes.insert(src.param_writes.begin(),
                               src.param_writes.end());
+      dst.write_param_positions.insert(src.write_param_positions.begin(),
+                                       src.write_param_positions.end());
     }
     if (!changed) break;
   }
@@ -932,6 +1405,13 @@ EffectAnalysis analyze_effects(const SourceModel& model) {
       es.method_name = method;
       es.qualified_name = cls_name + "::" + method;
       es.is_static = is_static;
+      auto add_reason = [&es](const char* r) {
+        es.write_top = true;
+        for (const std::string& have : es.write_top_reasons)
+          if (have == r) return;
+        es.write_top_reasons.push_back(r);
+        if (es.write_top_reason.empty()) es.write_top_reason = r;
+      };
       for (const Scanned& s : defs) {
         if (s.def->name != method) continue;
         if (class_of(model, s.def->class_name) != &cm) continue;
@@ -951,6 +1431,23 @@ EffectAnalysis analyze_effects(const SourceModel& model) {
             last_thr = std::max(last_thr, ev.pos);
           }
         }
+        if (std::getenv("FATOMIC_ANALYZE_DEBUG") != nullptr) {
+          std::fprintf(stderr, "== %s (%s)\n", es.qualified_name.c_str(),
+                       s.def->file.c_str());
+          for (const Event& ev : scan.events) {
+            std::string targets;
+            for (const auto& t : ev.targets) targets += t + ",";
+            std::string around;
+            for (std::size_t m = ev.pos; m < ev.pos + 6 && m < s.body.size();
+                 ++m)
+              around += s.body[m].text + " ";
+            std::fprintf(stderr,
+                         "  pos=%zu mut=%d thr=%d via_param=%d unk=%d "
+                         "targets=[%s] | %s\n",
+                         ev.pos, ev.mut, ev.thr, ev.via_param,
+                         ev.target_unknown, targets.c_str(), around.c_str());
+          }
+        }
         es.read_only = es.mutation_events == 0;
         es.commit_point_last = es.mutation_events == 0 ||
                                es.throw_events == 0 || last_thr < first_mut;
@@ -962,13 +1459,9 @@ EffectAnalysis analyze_effects(const SourceModel& model) {
           for (const Event& ev : scan.events) {
             if (!ev.mut || ev.pos > last_thr) continue;
             if (ev.via_param) {
-              es.write_top = true;
-              if (es.write_top_reason.empty())
-                es.write_top_reason = "parameter-aliased write";
+              add_reason("parameter-aliased write");
             } else if (ev.target_unknown) {
-              es.write_top = true;
-              if (es.write_top_reason.empty())
-                es.write_top_reason = "unresolved write target";
+              add_reason("unresolved write target");
             } else {
               es.write_names.insert(ev.targets.begin(), ev.targets.end());
             }
@@ -978,7 +1471,7 @@ EffectAnalysis analyze_effects(const SourceModel& model) {
         // event scan never sees.
         for (const Token& tok : s.body) {
           if (tok.text != "this") continue;
-          es.write_top = true;
+          add_reason("receiver escapes via this");
           es.write_top_reason = "receiver escapes via this";
           break;
         }

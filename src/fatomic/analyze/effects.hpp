@@ -33,6 +33,17 @@
 
 namespace fatomic::analyze {
 
+/// Tunables for the effect pass.  `context_sensitive` switches on the
+/// Pass 4 precision features (per-parameter-position write tracking,
+/// receiver-typed and same-class call resolution, catch-clause-aware throw
+/// suppression, lambda-parameter registration, named move-steal targets);
+/// with it off the pass reproduces the context-insensitive pre-Pass-4
+/// behaviour, which bench_prune uses to split "provable before Pass 4"
+/// from "newly provable".
+struct AnalyzeOptions {
+  bool context_sensitive = true;
+};
+
 /// Interprocedural facts about one function, used when resolving calls to
 /// it.  Computed for every scanned definition (instrumented or not) by an
 /// optimistic fixpoint: bits start false and only ever flip to true.
@@ -56,6 +67,13 @@ struct FnSummary {
   /// Same, for mutations through non-const parameters.
   std::set<std::string> param_writes;
   bool param_writes_unknown = false;
+  /// Which parameter positions the param mutations flow through.  A call
+  /// site that knows the positions re-evaluates only those argument
+  /// expressions instead of treating any tracked argument anywhere in the
+  /// list as potentially written (the k=1 call-site context of Pass 4).
+  /// Meaningful only while `!param_positions_unknown`.
+  std::set<std::size_t> write_param_positions;
+  bool param_positions_unknown = false;
 };
 
 /// The static verdict for one instrumented method.
@@ -82,7 +100,13 @@ struct EffectSummary {
   /// parameter-aliased write, receiver escaping via `this`): Pass 3 must
   /// fall back to a full checkpoint for this method.
   bool write_top = false;
+  /// First collapsing rule that fired (kept for report compatibility; a
+  /// `receiver escapes via this` finding overrides it, matching the
+  /// historical output).
   std::string write_top_reason;
+  /// Every collapsing rule that fired, in event order — the input to the
+  /// ⊤-reason histogram (`--write-sets`, write_sets JSON).
+  std::vector<std::string> write_top_reasons;
 
   /// Statically proven failure atomic under the injector's fault model.
   bool proven_atomic() const {
@@ -106,6 +130,7 @@ struct EffectAnalysis {
 };
 
 /// Runs the effect analysis over a scanned source model.
-EffectAnalysis analyze_effects(const SourceModel& model);
+EffectAnalysis analyze_effects(const SourceModel& model,
+                               const AnalyzeOptions& opts = {});
 
 }  // namespace fatomic::analyze

@@ -505,6 +505,17 @@ void collect_definitions(const Tokens& t, const std::string& file,
       if (t[after].text == "const") is_const = true;
       ++after;
     }
+    // Function-try-block: `f() try { ... } catch (...) { ... }`.  The body
+    // recorded below starts at the `try` keyword and runs through the last
+    // catch clause, so downstream passes see the same try/catch structure a
+    // body-level try statement would give them.
+    bool fn_try = false;
+    std::size_t try_pos = 0;
+    if (after < t.size() && t[after].text == "try") {
+      fn_try = true;
+      try_pos = after;
+      ++after;
+    }
     if (after < t.size() && t[after].text == ":") {
       // Constructor init list: step over `member(init)` / `member{init}`
       // pairs until the body brace.
@@ -541,6 +552,20 @@ void collect_definitions(const Tokens& t, const std::string& file,
       i = after + 1;
       continue;
     }
+    std::size_t def_end = body_end;  // last token this definition consumed
+    if (fn_try) {
+      std::size_t p = body_end + 1;
+      while (p < t.size() && t[p].text == "catch") {
+        std::size_t cp = p + 1;
+        if (cp >= t.size() || t[cp].text != "(") break;
+        const std::size_t cc = match_forward(t, cp, "(", ")");
+        if (cc + 1 >= t.size() || t[cc + 1].text != "{") break;
+        const std::size_t cb = match_forward(t, cc + 1, "{", "}");
+        if (cb >= t.size()) break;
+        def_end = cb;
+        p = cb + 1;
+      }
+    }
     if (!name.empty() && !has_operator) {
       FunctionDef def;
       std::string prefix;
@@ -553,12 +578,16 @@ void collect_definitions(const Tokens& t, const std::string& file,
       def.name = name;
       def.is_const = is_const;
       def.params = parse_params(t, paren, close);
-      def.body.assign(t.begin() + static_cast<std::ptrdiff_t>(after) + 1,
-                      t.begin() + static_cast<std::ptrdiff_t>(body_end));
+      if (fn_try)
+        def.body.assign(t.begin() + static_cast<std::ptrdiff_t>(try_pos),
+                        t.begin() + static_cast<std::ptrdiff_t>(def_end) + 1);
+      else
+        def.body.assign(t.begin() + static_cast<std::ptrdiff_t>(after) + 1,
+                        t.begin() + static_cast<std::ptrdiff_t>(body_end));
       def.file = file;
       model.functions.push_back(std::move(def));
     }
-    i = body_end + 1;
+    i = def_end + 1;
   }
 }
 

@@ -3,6 +3,8 @@
 #include <map>
 #include <sstream>
 
+#include "fatomic/weave/runtime.hpp"
+
 namespace fatomic::analyze {
 
 std::set<std::string> StaticReport::prune_set() const {
@@ -41,11 +43,16 @@ std::string StaticReport::to_text() const {
   return os.str();
 }
 
-StaticReport analyze_sources(const std::string& root) {
+StaticReport analyze_sources(const std::string& root,
+                             const AnalyzeOptions& opts) {
   StaticReport report;
   report.model = scan_sources(root);
-  report.effects = analyze_effects(report.model);
+  report.effects = analyze_effects(report.model, opts);
   report.write_sets = analyze_write_sets(report.model, report.effects);
+  std::set<std::string> runtime_names;
+  for (const auto& spec : weave::Runtime::instance().runtime_exceptions())
+    runtime_names.insert(spec.type_name);
+  report.graph = build_static_call_graph(report.model, runtime_names);
   return report;
 }
 

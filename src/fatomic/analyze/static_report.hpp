@@ -9,6 +9,7 @@
 #include <set>
 #include <string>
 
+#include "fatomic/analyze/callgraph_static.hpp"
 #include "fatomic/analyze/effects.hpp"
 #include "fatomic/analyze/source_model.hpp"
 #include "fatomic/analyze/write_sets.hpp"
@@ -21,6 +22,9 @@ struct StaticReport {
   SourceModel model;
   EffectAnalysis effects;
   WriteSetAnalysis write_sets;
+  /// Pass 4: the static call graph with context-sensitive exception flow,
+  /// consumed by `--graph-check` and the static lint.
+  StaticCallGraph graph;
 
   /// Qualified names safe to feed fatomic::Config::prune_atomic: statically
   /// proven failure atomic, with a receiver (statics have no state to
@@ -36,9 +40,12 @@ struct StaticReport {
   std::string to_text() const;
 };
 
-/// Scans `root` (a subject source tree) and runs the effect analysis.
-/// Throws std::runtime_error when root does not exist.
-StaticReport analyze_sources(const std::string& root);
+/// Scans `root` (a subject source tree) and runs the effect, write-set and
+/// static-call-graph passes.  Throws std::runtime_error when root does not
+/// exist.  `opts` tunes the effect pass (bench_prune flips
+/// `context_sensitive` off to measure the Pass 4 delta).
+StaticReport analyze_sources(const std::string& root,
+                             const AnalyzeOptions& opts = {});
 
 /// Result of running the same workload twice — one full campaign, one with
 /// static pruning — and comparing the classifications.

@@ -58,6 +58,17 @@ struct Reach {
   }
 };
 
+/// Collapses a per-method reason to its rule family so the histogram
+/// aggregates (the name-bearing suffix after ':' or 'at field' is the
+/// per-method detail, not the rule).
+std::string reason_family(const std::string& reason) {
+  auto p = reason.find(": ");
+  if (p != std::string::npos) return reason.substr(0, p);
+  p = reason.find(" at field ");
+  if (p != std::string::npos) return reason.substr(0, p);
+  return reason;
+}
+
 }  // namespace
 
 std::size_t WriteSetAnalysis::partial_count() const {
@@ -67,6 +78,17 @@ std::size_t WriteSetAnalysis::partial_count() const {
   return n;
 }
 
+std::map<std::string, std::size_t> WriteSetAnalysis::top_histogram() const {
+  std::map<std::string, std::size_t> out;
+  for (const auto& [name, w] : methods) {
+    if (!w.top) continue;
+    std::set<std::string> families;  // count each family once per method
+    for (const std::string& r : w.top_reasons) families.insert(reason_family(r));
+    for (const std::string& f : families) ++out[f];
+  }
+  return out;
+}
+
 std::string WriteSetAnalysis::to_text() const {
   std::ostringstream os;
   os << "write-set analysis: " << partial_count() << " of " << methods.size()
@@ -74,11 +96,23 @@ std::string WriteSetAnalysis::to_text() const {
   for (const auto& [name, w] : methods) {
     os << "  " << name << ": ";
     if (w.top) {
-      os << "full (" << w.top_reason << ")";
+      os << "full (";
+      for (std::size_t i = 0; i < w.top_reasons.size(); ++i) {
+        if (i) os << "; ";
+        os << w.top_reasons[i];
+      }
+      os << ")";
     } else {
       os << snapshot::to_string(w.plan);
     }
     os << '\n';
+  }
+  const auto hist = top_histogram();
+  if (!hist.empty()) {
+    os << "top-reason histogram (" << methods.size() - partial_count()
+       << " full-checkpoint methods):\n";
+    for (const auto& [family, n] : hist)
+      os << "  " << family << ": " << n << '\n';
   }
   return os.str();
 }
@@ -181,38 +215,50 @@ WriteSetAnalysis analyze_write_sets(const SourceModel& model,
     w.qualified_name = qualified;
     auto top = [&](const std::string& reason) {
       w.top = true;
-      w.top_reason = reason;
+      if (w.top_reason.empty()) w.top_reason = reason;
+      for (const std::string& have : w.top_reasons)
+        if (have == reason) return;
+      w.top_reasons.push_back(reason);
     };
 
+    // Terminal rules first: without a scan (or with an unbounded write set)
+    // the downstream checks have nothing meaningful to say.  Past those, the
+    // chain keeps evaluating after a hit so `top_reasons` lists *every*
+    // obstacle, not just the first.
     if (!es.scanned) {
       top("unscanned");
     } else if (es.is_static) {
       top("static method (no receiver checkpoint)");
-    } else if (es.catches) {
-      top("catches exceptions (mutations inside handlers are unmodelled)");
-    } else if (es.write_top) {
-      top(es.write_top_reason.empty() ? "unbounded write set"
-                                      : es.write_top_reason);
     } else {
+      if (es.catches)
+        top("catches exceptions (mutations inside handlers are unmodelled)");
+      if (es.write_top) {
+        if (es.write_top_reasons.empty()) {
+          top("unbounded write set");
+        } else {
+          for (const std::string& r : es.write_top_reasons) top(r);
+        }
+      }
       w.names = es.write_names;
       const ClassModel* cm = model.find_class(es.class_name);
       if (cm == nullptr || cm->fields.empty())
         top("receiver class not reflected");
       else if (poly.count(simple_of(es.class_name)))
         top("polymorphic receiver");
-      for (const std::string& n : w.names) {
-        if (w.top) break;
-        auto it = model.declared_types.find(n);
-        bool ok = it != model.declared_types.end();
-        if (ok)
-          for (const std::string& tok : split_ws(it->second))
-            if (!value_like_token(tok, model.enum_names)) {
-              ok = false;
-              break;
-            }
-        if (!ok) top("non-value-like write target: " + n);
+      if (!es.write_top) {
+        for (const std::string& n : w.names) {
+          auto it = model.declared_types.find(n);
+          bool ok = it != model.declared_types.end();
+          if (ok)
+            for (const std::string& tok : split_ws(it->second))
+              if (!value_like_token(tok, model.enum_names)) {
+                ok = false;
+                break;
+              }
+          if (!ok) top("non-value-like write target: " + n);
+        }
       }
-      if (!w.top) {
+      if (cm != nullptr && !es.write_top) {
         // Prune: any name in the receiver closure whose own reach is
         // closed, monomorphic, and disjoint from the capture set.
         const Reach& recv = class_reach[cm->qualified_name];
@@ -233,7 +279,6 @@ WriteSetAnalysis analyze_write_sets(const SourceModel& model,
         // Walk-set check: every subtree the walk will enter must stay
         // within reflected, monomorphic classes.
         for (const std::string& f : cm->fields) {
-          if (w.top) break;
           if (w.plan.prune.count(f) || w.names.count(f)) continue;
           const Reach mr = member_reach(f);
           if (mr.open) top("unreflected subtree at field " + f);

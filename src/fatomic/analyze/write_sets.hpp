@@ -25,6 +25,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "fatomic/analyze/effects.hpp"
 #include "fatomic/analyze/source_model.hpp"
@@ -39,6 +40,10 @@ struct MethodWriteSet {
   bool top = false;
   /// First rule that collapsed the set (diagnostics / report output).
   std::string top_reason;
+  /// Every collapsing rule that fired, in rule order.  Unlike `top_reason`
+  /// this keeps going after the first hit, so the report can show all the
+  /// obstacles a method must clear before its plan can turn partial.
+  std::vector<std::string> top_reasons;
   /// Pre-injection write names (meaningful only when !top).
   std::set<std::string> names;
   /// The derived checkpoint plan (partial iff !top).
@@ -54,6 +59,11 @@ struct WriteSetAnalysis {
     return it == methods.end() ? nullptr : &it->second;
   }
   std::size_t partial_count() const;
+  /// Histogram of collapsing rules across all ⊤ methods, keyed by rule
+  /// family (per-name suffixes such as the field name are stripped so the
+  /// same rule aggregates).  Drives the `--write-sets` summary and the
+  /// `top_histogram` object in the write_sets JSON section.
+  std::map<std::string, std::size_t> top_histogram() const;
   std::string to_text() const;
 };
 

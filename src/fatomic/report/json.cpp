@@ -278,11 +278,27 @@ std::string campaign_json(const detect::Campaign& campaign,
       }
       os << "],\"pruned\":" << w.plan.prune.size();
     } else {
-      os << ",\"reason\":\"" << json_escape(w.top_reason) << '"';
+      os << ",\"reason\":\"" << json_escape(w.top_reason) << "\",\"reasons\":[";
+      bool inner = true;
+      for (const std::string& r : w.top_reasons) {
+        if (!inner) os << ',';
+        inner = false;
+        os << '"' << json_escape(r) << '"';
+      }
+      os << ']';
     }
     os << '}';
   }
-  os << "]}}}";
+  // Aggregate view over all the ⊤ verdicts: how often each collapsing rule
+  // family fires (per-method detail suffixes stripped).
+  os << "],\"top_histogram\":{";
+  first = true;
+  for (const auto& [family, count] : report.write_sets.top_histogram()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(family) << "\":" << count;
+  }
+  os << "}}}}";
   return os.str();
 }
 

@@ -23,6 +23,13 @@ void LintDemo::poke(int v) {
   });
 }
 
+void LintDemo::vent() {
+  FAT_INVOKE(vent, [&] {
+    if (pokes_ < 0) throw UndeclaredError();  // not in FAT_THROWS
+    pokes_ = 0;
+  });
+}
+
 void run_lint_demo() {
   LintDemo d;
   for (int i = 0; i < 6; ++i) d.record(i);

@@ -44,6 +44,10 @@ class LintDemo {
   /// Mis-declared: FAT_THROWS says LintDemoError, but odd values raise
   /// UndeclaredError.
   void poke(int v);
+  /// Mis-declared AND never called by run_lint_demo(): the dynamic lint is
+  /// blind to it (no campaign coverage), so only the Pass 4 static lint can
+  /// flag the UndeclaredError on this uncovered path.
+  void vent();
 
  private:
   FAT_REFLECT_FRIEND(LintDemo);
@@ -52,6 +56,8 @@ class LintDemo {
                   FAT_THROWS(subjects::apps::LintDemoError));
   FAT_METHOD_INFO(subjects::apps::LintDemo, total);
   FAT_METHOD_INFO(subjects::apps::LintDemo, poke,
+                  FAT_THROWS(subjects::apps::LintDemoError));
+  FAT_METHOD_INFO(subjects::apps::LintDemo, vent,
                   FAT_THROWS(subjects::apps::LintDemoError));
 
   int sum_ = 0;

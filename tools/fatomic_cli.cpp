@@ -50,6 +50,8 @@ struct Args {
   bool diffs = false;
   bool analyze = false;
   bool lint = false;
+  bool graph_check = false;
+  std::string precision_floor;
   bool prune_static = false;
   bool cross_check = false;
   bool write_sets = false;
@@ -107,7 +109,18 @@ int usage(int code) {
       "                         --json: static_analysis report section)\n"
       "  --lint                 cross-check observed exception types against\n"
       "                         the declared FAT_THROWS sets (exit != 0 on\n"
-      "                         undeclared exceptions; works with --all)\n"
+      "                         undeclared exceptions; works with --all);\n"
+      "                         also lints campaign-unreached methods of\n"
+      "                         observed classes against the Pass 4 static\n"
+      "                         exception-flow sets\n"
+      "  --graph-check          static-vs-dynamic soundness gate: every call\n"
+      "                         edge and exception type the campaign\n"
+      "                         observed must be predicted by the static\n"
+      "                         call graph (exit 2 on unsoundness; with\n"
+      "                         --all: every family plus the hidden demos)\n"
+      "  --precision-floor P,W  static-only regression gate: exit 2 unless\n"
+      "                         at least P methods are proven atomic and at\n"
+      "                         least W get a partial checkpoint plan\n"
       "  --write-sets           print the write-set analysis' per-method\n"
       "                         checkpoint plans (usable without --app)\n"
       "\n"
@@ -180,6 +193,12 @@ bool parse(int argc, char** argv, Args& args) {
       args.analyze = true;
     } else if (a == "--lint") {
       args.lint = true;
+    } else if (a == "--graph-check") {
+      args.graph_check = true;
+    } else if (a == "--precision-floor") {
+      const char* v = value();
+      if (!v) return false;
+      args.precision_floor = v;
     } else if (a == "--prune-static") {
       args.prune_static = true;
     } else if (a == "--cross-check") {
@@ -312,18 +331,53 @@ std::string subject_root() {
   return std::string(FATOMIC_SOURCE_DIR) + "/subjects";
 }
 
-int print_lint(const std::string& app_name, const detect::Campaign& campaign) {
-  const auto findings = fatomic::analyze::lint(campaign);
+/// The injector's generic runtime exception names (E_{k+1}..E_n), the seed
+/// set of both exception-flow passes.
+std::set<std::string> runtime_exception_names() {
+  std::set<std::string> names;
+  for (const auto& spec : fatomic::weave::Runtime::instance().runtime_exceptions())
+    names.insert(spec.type_name);
+  return names;
+}
+
+int print_lint(const std::string& app_name, const detect::Campaign& campaign,
+               const fatomic::analyze::StaticReport& sreport) {
+  // Dynamic lint (observed marks vs. declared sets), then the Pass 4
+  // static lint for methods of observed classes the campaign never reached
+  // — the dynamic graph's blind spot.
+  auto findings = fatomic::analyze::lint(campaign);
+  const auto uncovered = fatomic::analyze::lint_static(
+      campaign, sreport.model, sreport.graph, runtime_exception_names());
+  findings.insert(findings.end(), uncovered.begin(), uncovered.end());
   if (findings.empty()) {
     std::cout << app_name << ": lint clean (every observed exception type "
-                 "is declared)\n";
+                 "is declared; uncovered methods statically clean)\n";
     return 0;
   }
   for (const auto& f : findings)
     std::cout << app_name << ": undeclared exception " << f.exception_type
-              << " escaped through " << f.method << " (injection point "
-              << f.injection_point << " at " << f.injected_at << ")\n";
+              << (f.injected_at == "(static)"
+                      ? std::string(" may escape through ")
+                      : std::string(" escaped through "))
+              << f.method << " (injection point " << f.injection_point
+              << " at " << f.injected_at << ")\n";
   return 3;
+}
+
+int print_graph_check(const std::string& app_name,
+                      const detect::Campaign& campaign,
+                      const fatomic::analyze::StaticCallGraph& graph) {
+  const auto res = fatomic::analyze::graph_check(campaign, graph);
+  if (res.ok()) {
+    std::cout << app_name << ": graph-check sound (" << res.edges_checked
+              << " call edges, " << res.types_checked
+              << " exception types covered)\n";
+    return 0;
+  }
+  for (const auto& v : res.violations)
+    std::cout << app_name << ": static graph missed " << v.kind << ' '
+              << v.node << " -> " << v.detail << '\n';
+  return 2;
 }
 
 /// Trace/metrics exporters shared by run_one and the per-app --all loop.
@@ -437,7 +491,7 @@ int run_one(const Args& args) {
 
   const bool need_static = args.analyze || args.prune_static ||
                            args.cross_check || args.write_sets ||
-                           args.mask_partial;
+                           args.mask_partial || args.lint || args.graph_check;
   fatomic::analyze::StaticReport sreport;
   if (need_static) sreport = fatomic::analyze::analyze_sources(subject_root());
 
@@ -549,8 +603,13 @@ int run_one(const Args& args) {
     std::cout << "checkpoint validator: " << divergences << " divergences\n";
     if (divergences > 0) return 2;
   }
-  if (args.lint) return print_lint(app.name, result.campaign);
-  return 0;
+  int status = 0;
+  if (args.graph_check)
+    status = std::max(
+        status, print_graph_check(app.name, result.campaign, sreport.graph));
+  if (args.lint)
+    status = std::max(status, print_lint(app.name, result.campaign, sreport));
+  return status;
 }
 
 int run_all(const Args& args) {
@@ -584,17 +643,33 @@ int run_all(const Args& args) {
   }
 
   const fatomic::Config config = make_config(args);
+  fatomic::analyze::StaticReport sreport;
+  if (args.lint || args.graph_check)
+    sreport = fatomic::analyze::analyze_sources(subject_root());
+  // The soundness/lint gates sweep the hidden demos too — exactly the
+  // families whose campaigns exercise lint- and net-specific behaviour.
+  std::vector<subjects::apps::App> apps = subjects::apps::all_apps();
+  if (args.graph_check) {
+    apps.push_back(subjects::apps::app("lintDemo"));
+    apps.push_back(subjects::apps::app("netDemo"));
+  }
   std::vector<report::AppResult> results;
   std::vector<std::pair<std::string, trace::Trace>> traces;
   int lint_status = 0;
+  int graph_status = 0;
   std::uint64_t validator_divergences = 0;
-  for (const auto& app : subjects::apps::all_apps()) {
+  for (const auto& app : apps) {
     if (!args.language.empty() && app.language != args.language) continue;
     results.push_back(run_campaign(app, config));
     const auto& result = results.back();
     validator_divergences += result.campaign.stats.validator_divergences;
+    if (args.graph_check)
+      graph_status = std::max(
+          graph_status,
+          print_graph_check(app.name, result.campaign, sreport.graph));
     if (args.lint)
-      lint_status = std::max(lint_status, print_lint(app.name, result.campaign));
+      lint_status =
+          std::max(lint_status, print_lint(app.name, result.campaign, sreport));
     if (!args.trace_out.empty())
       traces.emplace_back(app.name, result.campaign.trace);
     if (args.json && !args.out_dir.empty()) {
@@ -614,7 +689,8 @@ int run_all(const Args& args) {
       std::cout << "wrote " << path << " (" << traces.size() << " apps, "
                 << events << " events)\n";
   }
-  if (args.lint) return lint_status;
+  if (args.lint || args.graph_check)
+    return std::max(lint_status, graph_status);
   if (args.validate_checkpoints) {
     std::cout << "checkpoint validator: " << validator_divergences
               << " divergences across " << results.size() << " campaigns\n";
@@ -646,6 +722,28 @@ int main(int argc, char** argv) {
       std::filesystem::create_directories(args.out_dir);
     if (args.all) return run_all(args);
     if (!args.app.empty()) return run_one(args);
+    if (!args.precision_floor.empty()) {
+      // Static-only regression gate: proven-atomic and partial-plan counts
+      // must not fall below the asserted lower bounds.
+      std::size_t floor_proven = 0, floor_partial = 0;
+      if (std::sscanf(args.precision_floor.c_str(), "%zu,%zu", &floor_proven,
+                      &floor_partial) != 2) {
+        std::cerr << "--precision-floor expects P,W (two counts)\n";
+        return 1;
+      }
+      const auto sreport = fatomic::analyze::analyze_sources(subject_root());
+      const std::size_t proven = sreport.proven_count();
+      const std::size_t partial = sreport.write_sets.partial_count();
+      std::cout << "precision: " << proven << " proven atomic (floor "
+                << floor_proven << "), " << partial
+                << " partial checkpoint plans (floor " << floor_partial
+                << ") of " << sreport.method_count() << " methods\n";
+      if (proven < floor_proven || partial < floor_partial) {
+        std::cout << "precision regression: below asserted floor\n";
+        return 2;
+      }
+      return 0;
+    }
     if (args.write_sets) {
       // Static-only mode: no campaign, just the per-method checkpoint plans.
       const auto sreport =
