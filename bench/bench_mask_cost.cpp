@@ -191,6 +191,11 @@ int main() {
       bench_common::JsonObject{}
           .put("partial_plans", sreport.write_sets.partial_count())
           .put("methods_total", sreport.write_sets.methods.size())
+          .put("plan_coverage",
+               sreport.write_sets.methods.empty()
+                   ? 0.0
+                   : static_cast<double>(sreport.write_sets.partial_count()) /
+                         static_cast<double>(sreport.write_sets.methods.size()))
           .put_raw("families", rows.dump())
           .put("ok", ok)
           .dump());

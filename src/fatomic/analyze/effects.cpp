@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <limits>
 
+#include "fatomic/analyze/alias.hpp"
+
 namespace fatomic::analyze {
 
 const char* EffectSummary::verdict() const {
@@ -119,6 +121,11 @@ struct Ctx {
   /// either side of an inheritance edge): receiver-typed resolution must
   /// not narrow calls through these, an unscanned override could run.
   const std::set<std::string>* dispatch_risky;
+  /// Pass 5 alias bindings, or nullptr in context-insensitive mode: writes
+  /// through tracked locals resolve to the receiver subtree (or parameter
+  /// position) the local aliases instead of collapsing to an unresolved
+  /// environment write.
+  const AliasAnalysis* alias;
 };
 
 /// Scans one function body, producing effect events against the current
@@ -133,6 +140,10 @@ class BodyScan {
       params_[p.name] = !p.is_const && (p.is_ref || p.is_ptr);
       param_pos_[p.name] = i;
     }
+    if (ctx.alias != nullptr)
+      alias_ = ctx.alias->find(def.class_name.empty()
+                                   ? def.name
+                                   : def.class_name + "::" + def.name);
     compute_loops();
     compute_trys();
   }
@@ -148,6 +159,9 @@ class BodyScan {
     /// Declared with a value type: writes to it can never reach the caller,
     /// so reassignment keeps it untracked no matter the right-hand side.
     bool value_type = false;
+    /// Declared as a reference: a plain assignment writes *through* the
+    /// binding into the aliased object, it never rebinds.
+    bool is_ref = false;
   };
 
   bool cs() const { return ctx_.opts->context_sensitive; }
@@ -295,6 +309,11 @@ class BodyScan {
     /// recv_name itself is dereferenced (`*p = v` writes p's pointee, not a
     /// member named "p") — the name must not be used as a write target.
     bool recv_starred = false;
+    /// Member hops between the base and the written slot (`n->f` = 1,
+    /// `w.p->value` = 2).  A write one hop into a frame-local object lands
+    /// in that object's own storage; a second hop re-enters whatever its
+    /// members point at, which the per-variable alias lattice cannot bound.
+    std::size_t hops = 0;
   };
 
   /// Resolves the postfix chain ending just before token `end` (an
@@ -305,6 +324,10 @@ class BodyScan {
     Chain c;
     std::string base;
     bool first = true;
+    // A trailing index group makes the *owning* identifier the written
+    // target (`buckets_[i] = v` writes buckets_) — unless a call group
+    // intervenes, whose result owns the elements instead.
+    bool pending_index = false;
     std::ptrdiff_t j = static_cast<std::ptrdiff_t>(end) - 1;
     while (j >= 0) {
       const std::string& t = tk(static_cast<std::size_t>(j));
@@ -313,12 +336,14 @@ class BodyScan {
         c.recv_starred = j > 0 && tk(static_cast<std::size_t>(j) - 1) == "*";
         first = false;
       } else if (t != "." && t != "::") {
+        if (t == "]" && first && c.recv_name.empty()) pending_index = true;
         first = false;
       }
       if (t == ")" || t == "]") {
         const std::ptrdiff_t open =
             match_back(j, t == ")" ? "(" : "[", t == ")" ? ")" : "]");
         if (open < 0) break;
+        if (t == ")") pending_index = false;
         if (t == ")" && open > 0 &&
             ctx_.model->class_names.count(
                 tk(static_cast<std::size_t>(open) - 1))) {
@@ -332,17 +357,32 @@ class BodyScan {
         j = open - 1;
         continue;
       }
+      if (t == "this") {
+        // `*this = other` / `(*this).x = v`: the receiver itself is the
+        // base.  `this` classifies as Env (never a local or parameter).
+        base = t;
+        --j;
+        continue;
+      }
       if (is_ident(t) && !keywords().count(t) && !is_number(t)) {
+        if (pending_index && c.recv_name.empty()) {
+          c.recv_name = t;
+          c.recv_starred =
+              j > 0 && tk(static_cast<std::size_t>(j) - 1) == "*";
+          pending_index = false;
+        }
         base = t;
         --j;
         continue;
       }
       if (t == "." || t == "::") {
+        if (t == ".") ++c.hops;
         --j;
         continue;
       }
       if (t == "->" || t == "*") {
         c.deref = true;
+        if (t == "->") ++c.hops;
         --j;
         continue;
       }
@@ -370,6 +410,11 @@ class BodyScan {
     std::string base;
     while (k < body_.size()) {
       const std::string& t = tk(k);
+      if (t == "this") {  // `++this->count_`: the receiver is the base
+        if (base.empty()) base = t;
+        ++k;
+        continue;
+      }
       if (is_ident(t) && !keywords().count(t) && !is_number(t)) {
         if (base.empty()) base = t;
         c.recv_name = t;  // last identifier wins: the written member
@@ -377,13 +422,17 @@ class BodyScan {
         continue;
       }
       if (t == "." || t == "::") {
-        if (t == ".") leading_star = false;  // star applied to an earlier link
+        if (t == ".") {
+          leading_star = false;  // star applied to an earlier link
+          ++c.hops;
+        }
         ++k;
         continue;
       }
       if (t == "->") {
         c.deref = true;
         leading_star = false;
+        ++c.hops;
         ++k;
         continue;
       }
@@ -407,21 +456,32 @@ class BodyScan {
     return out;
   }
 
-  /// Caller-side write target for an argument expression: when [b, e) is a
+  /// Caller-side write targets for an argument expression: when [b, e) is a
   /// pure member chain (`head_`, `other.head_`), the written state lives
-  /// inside that named subtree.  Calls, indexing, dereferences, and local
-  /// names yield no usable target.
-  std::pair<std::string, bool> arg_target(std::size_t b, std::size_t e) const {
+  /// inside that named subtree.  A bare tracked local resolves through its
+  /// alias binding when that names a receiver subtree (Pass 5); calls,
+  /// indexing, dereferences, and unresolved locals yield no usable target.
+  std::pair<std::vector<std::string>, bool> arg_target(std::size_t b,
+                                                       std::size_t e) const {
     for (std::size_t k = b; k < e; ++k) {
       const std::string& t = tk(k);
       if (t == "." || t == "->" || t == "::") continue;
       if (!is_ident(t) || keywords().count(t) || is_number(t))
-        return {"", false};
+        return {{}, false};
     }
     const Chain c = chain_before(e);
-    if (c.recv_name.empty() || c.recv_starred) return {"", false};
-    if (locals_.count(c.recv_name)) return {"", false};
-    return {c.recv_name, true};
+    if (c.recv_name.empty() || c.recv_starred) return {{}, false};
+    if (locals_.count(c.recv_name)) {
+      if (cs() && alias_ != nullptr && c.recv_name == c.base_name) {
+        auto it = alias_->locals.find(c.base_name);
+        if (it != alias_->locals.end() &&
+            it->second.kind == AliasTarget::Kind::Field &&
+            !it->second.roots.empty())
+          return {{it->second.roots.begin(), it->second.roots.end()}, true};
+      }
+      return {{}, false};
+    }
+    return {{c.recv_name}, true};
   }
 
   void compute_loops();
@@ -455,6 +515,53 @@ class BodyScan {
     emit(pos, true, false, base == Kind::TrackedParam,
          std::vector<std::string>(names.begin(), names.end()), unknown,
          std::move(via_positions));
+  }
+
+  /// Mutation through a tracked local (Pass 5): the alias binding of the
+  /// chain's base decides where the write lands.  Frame-local storage drops
+  /// the event, a receiver-subtree binding yields a named environment write
+  /// rooted at the aliased members, a parameter binding yields a positioned
+  /// via_param write, and ⊤ (or no binding) keeps the historical collapse.
+  /// When the chain names a member deeper than the base (`p->next = v`),
+  /// that member is the write target — never the local's own name, which is
+  /// caller-meaningless (and could shadow a real member).
+  void emit_write(std::size_t pos, const Chain& c) {
+    const AliasTarget* t = nullptr;
+    if (alias_ != nullptr) {
+      auto it = alias_->locals.find(c.base_name);
+      if (it != alias_->locals.end()) t = &it->second;
+    }
+    const bool deeper = !c.recv_name.empty() && !c.recv_starred &&
+                        c.recv_name != c.base_name;
+    if (t == nullptr || t->kind == AliasTarget::Kind::Top) {
+      emit_mut(pos, Kind::Env, deeper ? c.recv_name : "", deeper);
+      return;
+    }
+    if (t->kind == AliasTarget::Kind::Local) {
+      // Frame-local storage: droppable only while the write stays in the
+      // object's own slots (`n->f = v`).  A second member hop re-enters
+      // whatever those slots point at — a ctor frame may have stashed a
+      // receiver subtree there (`Wrap w(head_); w.p->value = v`) — so the
+      // write falls back to the named-environment path.
+      if (c.hops <= 1) return;
+      emit_mut(pos, Kind::Env, deeper ? c.recv_name : "", deeper);
+      return;
+    }
+    std::vector<std::string> targets;
+    if (deeper)
+      targets.push_back(c.recv_name);
+    else
+      targets.assign(t->roots.begin(), t->roots.end());
+    const bool unknown = targets.empty();
+    emit(pos, true, false, t->kind == AliasTarget::Kind::Param,
+         std::move(targets), unknown,
+         t->kind == AliasTarget::Kind::Param ? t->positions
+                                             : std::set<std::size_t>{});
+  }
+
+  bool local_is_ref(const std::string& name) const {
+    auto it = locals_.find(name);
+    return it != locals_.end() && it->second.is_ref;
   }
 
   /// Param-mutation events for a call to a summarized callee.  Context-
@@ -520,6 +627,9 @@ class BodyScan {
   const Tokens& body_;
   const FunctionDef& def_;
   const Ctx& ctx_;
+  /// Alias bindings for this definition (Pass 5), or nullptr when the
+  /// analysis runs context-insensitively.
+  const FnAliasInfo* alias_ = nullptr;
   std::map<std::string, Var> locals_;
   std::map<std::string, bool> params_;  ///< name -> tracked
   std::map<std::string, std::size_t> param_pos_;
@@ -692,11 +802,9 @@ void BodyScan::emit_param_writes(std::size_t i, std::size_t close,
         const auto [b, e] = args[p];
         const auto [arg_tracked, arg_param_only] = expr_state(b, e);
         if (!arg_tracked) continue;
-        const auto [tname, tvalid] = arg_target(b, e);
+        auto [tnames, tvalid] = arg_target(b, e);
         emit(i, true, false, arg_param_only,
-             tvalid ? std::vector<std::string>{tname}
-                    : std::vector<std::string>{},
-             !tvalid,
+             tvalid ? std::move(tnames) : std::vector<std::string>{}, !tvalid,
              arg_param_only ? expr_positions(b, e) : std::set<std::size_t>{});
       }
       return;
@@ -720,10 +828,9 @@ void BodyScan::tracked_args_mut(std::size_t i, std::size_t close) {
   for (const auto& [b, e] : split_args(i + 1, close)) {
     const auto [arg_tracked, arg_param_only] = expr_state(b, e);
     if (!arg_tracked) continue;
-    const auto [tname, tvalid] = arg_target(b, e);
+    auto [tnames, tvalid] = arg_target(b, e);
     emit(i, true, false, arg_param_only,
-         tvalid ? std::vector<std::string>{tname} : std::vector<std::string>{},
-         !tvalid,
+         tvalid ? std::move(tnames) : std::vector<std::string>{}, !tvalid,
          arg_param_only ? expr_positions(b, e) : std::set<std::size_t>{});
   }
 }
@@ -837,9 +944,13 @@ void BodyScan::handle_call(std::size_t i) {
         // method of the same name — and a name-based summary lookup would
         // mis-resolve to it.  Library treatment: mutation only.  The write
         // lands inside the named member (`head_.reset()` rewrites head_).
-        if (recv_tracked)
-          emit_mut(i, recv_kind, recv.recv_name, !recv.recv_starred,
-                   chain_positions(recv));
+        if (recv_tracked) {
+          if (cs() && recv.base == Kind::TrackedLocal)
+            emit_write(i, recv);
+          else
+            emit_mut(i, recv_kind, recv.recv_name, !recv.recv_starred,
+                     chain_positions(recv));
+        }
         return;
       }
       // Receiver-typed narrowing first: when the declared type pins the
@@ -888,9 +999,13 @@ void BodyScan::handle_call(std::size_t i) {
     // Unknown library member call: mutation when the receiver is tracked,
     // no injection point inside.  The mutation stays within the receiver
     // chain's final member (`root_->children.push_back(x)` writes children).
-    if (recv_tracked)
-      emit_mut(i, recv_kind, recv.recv_name, !recv.recv_starred,
-               chain_positions(recv));
+    if (recv_tracked) {
+      if (cs() && recv.base == Kind::TrackedLocal)
+        emit_write(i, recv);
+      else
+        emit_mut(i, recv_kind, recv.recv_name, !recv.recv_starred,
+                 chain_positions(recv));
+    }
     return;
   }
 
@@ -996,7 +1111,7 @@ bool BodyScan::try_decl(std::size_t i, std::size_t& next) {
     ++j;
     if (tk(j) != "=" && tk(j) != ":") return false;
     const bool track = is_ref && !saw_const;
-    for (const std::string& n : names) locals_[n] = Var{track, !is_ref};
+    for (const std::string& n : names) locals_[n] = Var{track, !is_ref, is_ref};
     next = j + 1;
     return true;
   }
@@ -1033,7 +1148,7 @@ bool BodyScan::try_decl(std::size_t i, std::size_t& next) {
     track = false;
     value_type = true;
   }
-  locals_[name] = Var{track, value_type};
+  locals_[name] = Var{track, value_type, is_ref};
   next = after == "=" ? j + 2 : j + 1;
   return true;
 }
@@ -1126,7 +1241,10 @@ void BodyScan::run() {
                                       : i + 1);
       // The named pointer's graph is destroyed — a structural write to the
       // member holding it (its pointer type keeps it out of partial plans).
-      if (tracked(c.base))
+      if (cs() && (c.base == Kind::TrackedLocal ||
+                   (c.base == Kind::Fresh && c.hops > 1)))
+        emit_write(i, c);
+      else if (tracked(c.base))
         emit_mut(i, c.base, c.recv_name, !c.recv_starred, chain_positions(c));
       ++i;
       continue;
@@ -1150,11 +1268,22 @@ void BodyScan::run() {
         t == ">>=") {
       const Chain c = chain_before(i);
       if (c.deref) {
-        if (tracked(c.base))
+        // Fresh bases drop too — but only within the object's own slots: a
+        // second member hop re-enters whatever the frame stashed there
+        // (emit_write applies the same hop rule to tracked locals).
+        if (cs() && (c.base == Kind::TrackedLocal ||
+                     (c.base == Kind::Fresh && c.hops > 1)))
+          emit_write(i, c);
+        else if (tracked(c.base))
           emit_mut(i, c.base, c.recv_name, !c.recv_starred,
                    chain_positions(c));
       } else if (c.base == Kind::Env || c.base == Kind::TrackedParam) {
         emit_mut(i, c.base, c.recv_name, !c.recv_starred, chain_positions(c));
+      } else if (cs() && c.base == Kind::TrackedLocal &&
+                 local_is_ref(c.base_name)) {
+        // Assignment through a reference binding writes the aliased object
+        // (it never rebinds) — historically a silent hole.
+        emit_write(i, c);
       } else if (t == "=" &&
                  (c.base == Kind::Fresh || c.base == Kind::TrackedLocal)) {
         // Reassigning a local pointer: its freshness follows the new value.
@@ -1174,8 +1303,12 @@ void BodyScan::run() {
       const Chain c = (is_ident(nxt) || nxt == "(" || nxt == "*")
                           ? chain_after(i + 1)
                           : chain_before(i);
-      if (c.deref ? tracked(c.base)
-                  : (c.base == Kind::Env || c.base == Kind::TrackedParam))
+      if (cs() && ((c.base == Kind::TrackedLocal &&
+                    (c.deref || local_is_ref(c.base_name))) ||
+                   (c.base == Kind::Fresh && c.deref && c.hops > 1)))
+        emit_write(i, c);
+      else if (c.deref ? tracked(c.base)
+                       : (c.base == Kind::Env || c.base == Kind::TrackedParam))
         emit_mut(i,
                  c.base == Kind::TrackedParam ? Kind::TrackedParam : Kind::Env,
                  c.recv_name, !c.recv_starred, chain_positions(c));
@@ -1186,8 +1319,11 @@ void BodyScan::run() {
       // Stream insertion/extraction mutates its left operand (shifts on
       // literals and untracked values resolve to Kind::None/Fresh).
       const Chain c = chain_before(i);
-      if (c.base == Kind::Env || c.base == Kind::TrackedParam ||
-          c.base == Kind::TrackedLocal)
+      if (cs() && (c.base == Kind::TrackedLocal ||
+                   (c.base == Kind::Fresh && c.hops > 1)))
+        emit_write(i, c);
+      else if (c.base == Kind::Env || c.base == Kind::TrackedParam ||
+               c.base == Kind::TrackedLocal)
         emit_mut(i, c.base, c.recv_name, !c.recv_starred, chain_positions(c));
       ++i;
       continue;
@@ -1287,9 +1423,16 @@ EffectAnalysis analyze_effects(const SourceModel& model,
   // Optimistic interprocedural fixpoint: summary bits start false and the
   // scan is monotone in them, so iteration converges; recursion and sibling
   // calls settle within the depth of the call DAG's SCC structure.
+  // Pass 5 alias bindings are computed once up front: the alias fixpoint
+  // depends only on the token model, not on the effect summaries, so it
+  // feeds every effect round without participating in this fixpoint.
+  AliasAnalysis aliases;
+  if (opts.context_sensitive) aliases = analyze_aliases(model);
   std::map<std::string, FnSummary> by_key, by_name;
-  Ctx ctx{&model, &opts, &by_key, &by_name, &def_classes_by_simple,
-          &dispatch_risky};
+  Ctx ctx{&model,          &opts,
+          &by_key,         &by_name,
+          &def_classes_by_simple, &dispatch_risky,
+          opts.context_sensitive ? &aliases : nullptr};
   // Seed every scanned definition with the bottom (empty) summary so round
   // 0 lookups of not-yet-visited keys — self-recursion, forward references
   // — resolve to "no effects yet" instead of falling into the unknown-call
@@ -1410,7 +1553,6 @@ EffectAnalysis analyze_effects(const SourceModel& model,
         for (const std::string& have : es.write_top_reasons)
           if (have == r) return;
         es.write_top_reasons.push_back(r);
-        if (es.write_top_reason.empty()) es.write_top_reason = r;
       };
       for (const Scanned& s : defs) {
         if (s.def->name != method) continue;
@@ -1455,11 +1597,27 @@ EffectAnalysis analyze_effects(const SourceModel& model,
         // back only when some injection point can still fire at or after it
         // (pos <= last_thr; equality covers a single call that both mutates
         // and throws).
+        const FnAliasInfo* ai =
+            opts.context_sensitive ? aliases.find(s.key) : nullptr;
         if (es.throw_events > 0) {
           for (const Event& ev : scan.events) {
             if (!ev.mut || ev.pos > last_thr) continue;
             if (ev.via_param) {
-              add_reason("parameter-aliased write");
+              // Writes through parameters riding in the wrapper's
+              // FAT_INVOKE_ARGS std::tie are part of the checkpoint root
+              // tuple: when every position is tied and the targets are
+              // named, the write is restorable like any member write.
+              const bool tied =
+                  ai != nullptr && !ev.target_unknown &&
+                  !ev.via_positions.empty() &&
+                  std::includes(ai->tied_positions.begin(),
+                                ai->tied_positions.end(),
+                                ev.via_positions.begin(),
+                                ev.via_positions.end());
+              if (tied)
+                es.write_names.insert(ev.targets.begin(), ev.targets.end());
+              else
+                add_reason("parameter-aliased write");
             } else if (ev.target_unknown) {
               add_reason("unresolved write target");
             } else {
@@ -1468,12 +1626,37 @@ EffectAnalysis analyze_effects(const SourceModel& model,
           }
         }
         // A receiver escaping via `this` can be written through aliases the
-        // event scan never sees.
-        for (const Token& tok : s.body) {
-          if (tok.text != "this") continue;
-          add_reason("receiver escapes via this");
-          es.write_top_reason = "receiver escapes via this";
-          break;
+        // event scan never sees.  With the alias pass available, the
+        // per-token classification decides; `this` passed only into sinks
+        // the interprocedural summaries prove side-effect-free does not
+        // escape.  Without it, any `this` token collapses (historical).
+        if (ai != nullptr) {
+          bool escapes = ai->this_top;
+          for (const std::string& sink : ai->this_sinks) {
+            if (escapes) break;
+            const FnSummary* fs = nullptr;
+            if (!s.def->class_name.empty()) {
+              auto it = by_key.find(s.def->class_name + "::" + sink);
+              if (it != by_key.end()) fs = &it->second;
+            }
+            if (fs == nullptr) {
+              auto it = by_key.find(sink);
+              if (it != by_key.end()) fs = &it->second;
+            }
+            if (fs == nullptr) {
+              auto it = by_name.find(sink);
+              if (it != by_name.end()) fs = &it->second;
+            }
+            if (fs == nullptr || fs->mutates_env || fs->mutates_params)
+              escapes = true;
+          }
+          if (escapes) add_reason("receiver escapes via this");
+        } else {
+          for (const Token& tok : s.body) {
+            if (tok.text != "this") continue;
+            add_reason("receiver escapes via this");
+            break;
+          }
         }
         break;
       }

@@ -100,12 +100,10 @@ struct EffectSummary {
   /// parameter-aliased write, receiver escaping via `this`): Pass 3 must
   /// fall back to a full checkpoint for this method.
   bool write_top = false;
-  /// First collapsing rule that fired (kept for report compatibility; a
-  /// `receiver escapes via this` finding overrides it, matching the
-  /// historical output).
-  std::string write_top_reason;
-  /// Every collapsing rule that fired, in event order — the input to the
-  /// ⊤-reason histogram (`--write-sets`, write_sets JSON).
+  /// Every collapsing rule that fired, in event order — the single source
+  /// of truth for ⊤ reasons.  The first entry is the headline reason the
+  /// write-set report surfaces; the full list feeds the ⊤-reason histogram
+  /// (`--write-sets`, write_sets JSON).
   std::vector<std::string> write_top_reasons;
 
   /// Statically proven failure atomic under the injector's fault model.

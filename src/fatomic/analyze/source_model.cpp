@@ -169,7 +169,7 @@ void harvest_macros(const Tokens& t, SourceModel& model) {
     const bool method = m == "FAT_METHOD_INFO";
     const bool stat = m == "FAT_STATIC_INFO";
     const bool ctor = m == "FAT_CTOR_INFO";
-    const bool reflect = m == "FAT_REFLECT";
+    const bool reflect = m == "FAT_REFLECT" || m == "FAT_REFLECT_EMPTY";
     const bool poly = m == "FAT_POLY";
     if (!(method || stat || ctor || reflect || poly) || t[i + 1].text != "(")
       continue;
@@ -196,6 +196,7 @@ void harvest_macros(const Tokens& t, SourceModel& model) {
     ClassModel& cm = model.classes[cls];
     cm.qualified_name = cls;
     if (reflect) {
+      cm.reflected = true;
       for (; k < close; ++k) {
         if (t[k].text != "FAT_FIELD" && t[k].text != "FAT_OWNED") continue;
         // FAT_FIELD(Class, field) / FAT_OWNED(Class, field)

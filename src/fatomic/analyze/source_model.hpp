@@ -67,6 +67,11 @@ struct ClassModel {
   /// Methods declared with FAT_STATIC_INFO (injection points, no receiver).
   std::set<std::string> statics;
   bool has_ctor_info = false;
+  /// The class carries a reflection block (FAT_REFLECT or the explicitly
+  /// stateless FAT_REFLECT_EMPTY).  Distinguishes "reflected with zero
+  /// fields" from "never reflected": writes into the former are provably
+  /// impossible, the latter is unknown state.
+  bool reflected = false;
   /// Declared exceptions per method, as written in FAT_THROWS (fully
   /// qualified type names).
   std::map<std::string, std::vector<std::string>> declared_throws;

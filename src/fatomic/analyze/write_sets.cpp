@@ -69,6 +69,18 @@ std::string reason_family(const std::string& reason) {
   return reason;
 }
 
+/// Subject family of a qualified method name: the namespace segment under
+/// `subjects::` ("subjects::collections::LinkedList::insert" ->
+/// "collections").  Methods outside that convention group under "(other)".
+std::string family_of(const std::string& qualified) {
+  const std::string prefix = "subjects::";
+  if (qualified.rfind(prefix, 0) != 0) return "(other)";
+  const auto start = prefix.size();
+  const auto end = qualified.find("::", start);
+  if (end == std::string::npos) return "(other)";
+  return qualified.substr(start, end - start);
+}
+
 }  // namespace
 
 std::size_t WriteSetAnalysis::partial_count() const {
@@ -87,6 +99,56 @@ std::map<std::string, std::size_t> WriteSetAnalysis::top_histogram() const {
     for (const std::string& f : families) ++out[f];
   }
   return out;
+}
+
+std::map<std::string, std::size_t> WriteSetAnalysis::aggregate_top_histogram()
+    const {
+  std::map<std::string, std::size_t> out;
+  for (const auto& [name, w] : methods) {
+    if (!w.top) continue;
+    for (const std::string& r : w.top_reasons) ++out[reason_family(r)];
+  }
+  return out;
+}
+
+std::string WriteSetAnalysis::fleet_text() const {
+  struct FamilyAgg {
+    std::size_t partial = 0;
+    std::size_t total = 0;
+    std::map<std::string, std::size_t> firings;
+  };
+  std::map<std::string, FamilyAgg> families;
+  for (const auto& [name, w] : methods) {
+    FamilyAgg& agg = families[family_of(name)];
+    ++agg.total;
+    if (w.plan.partial) ++agg.partial;
+    if (w.top)
+      for (const std::string& r : w.top_reasons) ++agg.firings[reason_family(r)];
+  }
+  std::ostringstream os;
+  os << "write-set fleet summary: " << partial_count() << " of "
+     << methods.size() << " methods get a partial checkpoint plan\n";
+  for (const auto& [family, agg] : families) {
+    os << "  " << family << ": " << agg.partial << "/" << agg.total
+       << " partial";
+    if (!agg.firings.empty()) {
+      os << "; top reasons:";
+      bool first = true;
+      for (const auto& [rule, n] : agg.firings) {
+        os << (first ? " " : ", ") << rule << ' ' << n;
+        first = false;
+      }
+    }
+    os << '\n';
+  }
+  const auto agg = aggregate_top_histogram();
+  if (!agg.empty()) {
+    os << "aggregate top-reason histogram ("
+       << methods.size() - partial_count()
+       << " full-checkpoint methods, every firing counted):\n";
+    for (const auto& [rule, n] : agg) os << "  " << rule << ": " << n << '\n';
+  }
+  return os.str();
 }
 
 std::string WriteSetAnalysis::to_text() const {
@@ -140,9 +202,12 @@ WriteSetAnalysis analyze_write_sets(const SourceModel& model,
 
   // Reflected classes by simple name; same-name collisions merge
   // conservatively (the walker prunes by name, so the union is sound).
+  // Reflected-empty classes (FAT_REFLECT_EMPTY) participate: their contents
+  // are provably nothing, which is the opposite of unknown.
   std::map<std::string, std::vector<const ClassModel*>> by_simple;
   for (const auto& [qualified, cm] : model.classes)
-    if (!cm.fields.empty()) by_simple[simple_of(qualified)].push_back(&cm);
+    if (!cm.fields.empty() || cm.reflected)
+      by_simple[simple_of(qualified)].push_back(&cm);
 
   // Per-class reach fixpoint, mutually recursive with per-member reach
   // (member types name classes; class reach unions member reaches).
@@ -150,7 +215,9 @@ WriteSetAnalysis analyze_write_sets(const SourceModel& model,
   for (const auto& [qualified, cm] : model.classes) {
     Reach r;
     r.names = cm.fields;
-    r.open = cm.fields.empty();  // instrumented but not reflected
+    // Instrumented but never reflected: unknown contents.  An explicitly
+    // empty reflection block stays closed — it asserts statelessness.
+    r.open = cm.fields.empty() && !cm.reflected;
     r.poly = poly.count(simple_of(qualified)) > 0;
     class_reach[qualified] = r;
   }
@@ -241,10 +308,25 @@ WriteSetAnalysis analyze_write_sets(const SourceModel& model,
       }
       w.names = es.write_names;
       const ClassModel* cm = model.find_class(es.class_name);
-      if (cm == nullptr || cm->fields.empty())
+      if (cm == nullptr || (cm->fields.empty() && !cm->reflected)) {
         top("receiver class not reflected");
-      else if (poly.count(simple_of(es.class_name)))
-        top("polymorphic receiver");
+      } else if (poly.count(simple_of(es.class_name))) {
+        // Known-leaf relaxation: a class on the scanned inheritance edges
+        // as a derived end only — never itself a base, per both the edge
+        // set and the closed-world FAT_POLY registrations — cannot receive
+        // a call with any other dynamic type, so its receiver state is
+        // exactly its declared fields and the collapse is unnecessary.
+        // (Subtrees holding polymorphic members are still rejected by the
+        // walk-set check below.)
+        const std::string simple = simple_of(es.class_name);
+        bool used_as_base = false;
+        for (const auto& [derived, bs] : model.bases) {
+          for (const std::string& b : bs)
+            if (simple_of(b) == simple) used_as_base = true;
+        }
+        if (!model.bases.count(simple) || used_as_base)
+          top("polymorphic receiver");
+      }
       if (!es.write_top) {
         for (const std::string& n : w.names) {
           auto it = model.declared_types.find(n);

@@ -61,9 +61,21 @@ struct WriteSetAnalysis {
   std::size_t partial_count() const;
   /// Histogram of collapsing rules across all ⊤ methods, keyed by rule
   /// family (per-name suffixes such as the field name are stripped so the
-  /// same rule aggregates).  Drives the `--write-sets` summary and the
-  /// `top_histogram` object in the write_sets JSON section.
+  /// same rule aggregates).  Each rule family counts once per method.
+  /// Drives the `--write-sets` summary and the `top_histogram` object in
+  /// the write_sets JSON section.
   std::map<std::string, std::size_t> top_histogram() const;
+  /// Fleet-wide aggregate: every collapsing-rule firing across all ⊤
+  /// methods (not deduplicated per method), keyed by rule family.  A
+  /// method blocked by three non-value-like fields contributes three —
+  /// the table that says where precision work buys the most.  Drives the
+  /// `--all --write-sets` summary and the `aggregate_top_histogram`
+  /// object in the write_sets JSON section.
+  std::map<std::string, std::size_t> aggregate_top_histogram() const;
+  /// Per-subject-family plan coverage and ⊤-reason histograms followed by
+  /// the fleet-wide aggregate (`--all --write-sets`).  Families are the
+  /// namespace segment under `subjects::`.
+  std::string fleet_text() const;
   std::string to_text() const;
 };
 

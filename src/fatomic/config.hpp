@@ -49,6 +49,12 @@ class Config {
     settings_.record_diffs = on;
     return *this;
   }
+  /// Attach the full graph-diff path list to every non-atomic mark (the
+  /// `--alias-check` mutation footprints).
+  Config& record_footprints(bool on = true) {
+    settings_.record_footprints = on;
+    return *this;
+  }
 
   // --- masking ------------------------------------------------------------
   /// Runs campaigns against the corrected program P_C: installs `wrap` as

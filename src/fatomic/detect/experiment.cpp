@@ -312,6 +312,11 @@ Campaign Experiment::run() {
     ~DiffFlag() { weave::Runtime::instance().record_diffs = saved; }
   } diff_flag;
   rt.record_diffs = opts_.record_diffs;
+  struct FootprintFlag {
+    bool saved = weave::Runtime::instance().record_footprints;
+    ~FootprintFlag() { weave::Runtime::instance().record_footprints = saved; }
+  } footprint_flag;
+  rt.record_footprints = opts_.record_footprints;
 
   unsigned jobs = opts_.jobs != 0 ? opts_.jobs
                                   : std::max(1u, std::thread::hardware_concurrency());

@@ -45,6 +45,11 @@ struct CampaignSettings {
   /// exception.
   bool record_diffs = false;
 
+  /// Attach the full object-graph diff path list to every non-atomic mark
+  /// (Mark::footprint) so `analyze::alias_check` can validate narrowed
+  /// checkpoint plans against the dynamically observed mutation footprints.
+  bool record_footprints = false;
+
   /// Per-method checkpoint plans (write-set analysis output) installed into
   /// the runtime for the duration of the campaign; the atomicity wrappers
   /// consult them for field-granular checkpointing.  Null leaves whatever

@@ -31,6 +31,7 @@
 //   //    for the terminal, trace::campaign_metrics() for named counters.
 #pragma once
 
+#include "fatomic/analyze/alias.hpp"
 #include "fatomic/analyze/effects.hpp"
 #include "fatomic/analyze/exception_flow.hpp"
 #include "fatomic/analyze/source_model.hpp"

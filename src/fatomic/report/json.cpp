@@ -298,6 +298,16 @@ std::string campaign_json(const detect::Campaign& campaign,
     first = false;
     os << '"' << json_escape(family) << "\":" << count;
   }
+  // Fleet-wide aggregate: every rule firing counted (not deduplicated per
+  // method) — the precision-targeting table of `--all --write-sets`.
+  os << "},\"aggregate_top_histogram\":{";
+  first = true;
+  for (const auto& [family, count] :
+       report.write_sets.aggregate_top_histogram()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(family) << "\":" << count;
+  }
   os << "}}}}";
   return os.str();
 }

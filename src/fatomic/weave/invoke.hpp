@@ -192,7 +192,7 @@ decltype(auto) injected_call(const MethodInfo& mi, Root& root, Fn&& body,
   // tables carry (the arena slab stores none — they are type-determined);
   // record_diffs campaigns therefore pin the injection wrapper to graph
   // captures.  It is already the "pay for diagnostics" knob.
-  const snapshot::BackendKind kind = rt.record_diffs
+  const snapshot::BackendKind kind = rt.record_diffs || rt.record_footprints
                                          ? snapshot::BackendKind::Graph
                                          : rt.checkpoint_backend;
   const bool arena = kind == snapshot::BackendKind::Arena;
@@ -252,9 +252,13 @@ decltype(auto) injected_call(const MethodInfo& mi, Root& root, Fn&& body,
                            current_exception_type_name());
       }
     }
-    rt.marks.push_back(Mark{&mi, atomic, rt.injection_point, rt.depth,
-                            std::move(detail), current_exception_type_name(),
-                            throw_stack});
+    Mark mark{&mi, atomic, rt.injection_point, rt.depth, std::move(detail),
+              current_exception_type_name(), throw_stack, {}};
+    if (!atomic && rt.record_footprints) {
+      for (auto& d : snapshot::diff(before.graph(), after.graph(), 256))
+        mark.footprint.push_back(std::move(d.path));
+    }
+    rt.marks.push_back(std::move(mark));
     throw;
   }
 }

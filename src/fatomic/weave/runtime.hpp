@@ -72,6 +72,11 @@ struct Mark {
   /// Interned throw-site stack id (unwind::StackTable) of the exception this
   /// mark observed; 0 when provenance is off or no capture matched.
   std::uint64_t throw_stack = 0;
+  /// Every object-graph diff path between the entry checkpoint and the
+  /// post-exception state (only for non-atomic marks, and only when
+  /// Runtime::record_footprints is set).  The alias soundness gate
+  /// (`--alias-check`) validates these against the static write sets.
+  std::vector<std::string> footprint;
 };
 
 struct RuntimeStats {
@@ -184,6 +189,10 @@ class Runtime {
   /// When set, non-atomic marks carry a one-line graph-diff explanation
   /// (costs one diff per intercepted exception; off by default).
   bool record_diffs = false;
+  /// When set, non-atomic marks carry the full list of object-graph diff
+  /// paths (Mark::footprint) for the alias soundness gate.  Costs one
+  /// bounded diff per intercepted exception; off by default.
+  bool record_footprints = false;
   /// When set, injection wrappers consult the unwind capture layer and
   /// attach interned throw-site stack ids to marks and throw-site trace
   /// events (unwind/provenance.hpp).  The campaign driver sets this for

@@ -51,6 +51,7 @@ struct Args {
   bool analyze = false;
   bool lint = false;
   bool graph_check = false;
+  bool alias_check = false;
   std::string precision_floor;
   bool prune_static = false;
   bool cross_check = false;
@@ -118,6 +119,13 @@ int usage(int code) {
       "                         observed must be predicted by the static\n"
       "                         call graph (exit 2 on unsoundness; with\n"
       "                         --all: every family plus the hidden demos)\n"
+      "  --alias-check          alias-analysis soundness gate: record each\n"
+      "                         non-atomic mark's mutation footprint and\n"
+      "                         verify every footprint path on a\n"
+      "                         partial-plan method is covered by its\n"
+      "                         static write set (exit 2 on a missed\n"
+      "                         write; with --all: every family plus the\n"
+      "                         hidden demos)\n"
       "  --precision-floor P,W  static-only regression gate: exit 2 unless\n"
       "                         at least P methods are proven atomic and at\n"
       "                         least W get a partial checkpoint plan\n"
@@ -195,6 +203,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.lint = true;
     } else if (a == "--graph-check") {
       args.graph_check = true;
+    } else if (a == "--alias-check") {
+      args.alias_check = true;
     } else if (a == "--precision-floor") {
       const char* v = value();
       if (!v) return false;
@@ -275,6 +285,7 @@ fatomic::Config make_config(const Args& args,
   fatomic::Config cfg;
   cfg.jobs(args.jobs)
       .record_diffs(args.diffs)
+      .record_footprints(args.alias_check)
       .tracing(args.want_trace())
       .provenance(args.provenance)
       .checkpoint_backend(args.backend)
@@ -377,6 +388,22 @@ int print_graph_check(const std::string& app_name,
   for (const auto& v : res.violations)
     std::cout << app_name << ": static graph missed " << v.kind << ' '
               << v.node << " -> " << v.detail << '\n';
+  return 2;
+}
+
+int print_alias_check(const std::string& app_name,
+                      const detect::Campaign& campaign,
+                      const fatomic::analyze::WriteSetAnalysis& write_sets) {
+  const auto res = fatomic::analyze::alias_check(campaign, write_sets);
+  if (res.ok()) {
+    std::cout << app_name << ": alias-check sound (" << res.marks_checked
+              << " non-atomic marks, " << res.paths_checked
+              << " footprint paths covered)\n";
+    return 0;
+  }
+  for (const auto& v : res.violations)
+    std::cout << app_name << ": static write set missed " << v.method
+              << " path " << v.path << " (" << v.reason << ")\n";
   return 2;
 }
 
@@ -491,7 +518,8 @@ int run_one(const Args& args) {
 
   const bool need_static = args.analyze || args.prune_static ||
                            args.cross_check || args.write_sets ||
-                           args.mask_partial || args.lint || args.graph_check;
+                           args.mask_partial || args.lint ||
+                           args.graph_check || args.alias_check;
   fatomic::analyze::StaticReport sreport;
   if (need_static) sreport = fatomic::analyze::analyze_sources(subject_root());
 
@@ -607,6 +635,9 @@ int run_one(const Args& args) {
   if (args.graph_check)
     status = std::max(
         status, print_graph_check(app.name, result.campaign, sreport.graph));
+  if (args.alias_check)
+    status = std::max(status, print_alias_check(app.name, result.campaign,
+                                                sreport.write_sets));
   if (args.lint)
     status = std::max(status, print_lint(app.name, result.campaign, sreport));
   return status;
@@ -644,12 +675,17 @@ int run_all(const Args& args) {
 
   const fatomic::Config config = make_config(args);
   fatomic::analyze::StaticReport sreport;
-  if (args.lint || args.graph_check)
+  if (args.lint || args.graph_check || args.alias_check || args.write_sets)
     sreport = fatomic::analyze::analyze_sources(subject_root());
+  if (args.write_sets) {
+    // Fleet view of Pass 3: per-family plan coverage and ⊤-reason
+    // histograms, then the aggregated table precision work is aimed from.
+    std::cout << '\n' << sreport.write_sets.fleet_text() << '\n';
+  }
   // The soundness/lint gates sweep the hidden demos too — exactly the
   // families whose campaigns exercise lint- and net-specific behaviour.
   std::vector<subjects::apps::App> apps = subjects::apps::all_apps();
-  if (args.graph_check) {
+  if (args.graph_check || args.alias_check) {
     apps.push_back(subjects::apps::app("lintDemo"));
     apps.push_back(subjects::apps::app("netDemo"));
   }
@@ -657,6 +693,7 @@ int run_all(const Args& args) {
   std::vector<std::pair<std::string, trace::Trace>> traces;
   int lint_status = 0;
   int graph_status = 0;
+  int alias_status = 0;
   std::uint64_t validator_divergences = 0;
   for (const auto& app : apps) {
     if (!args.language.empty() && app.language != args.language) continue;
@@ -667,6 +704,10 @@ int run_all(const Args& args) {
       graph_status = std::max(
           graph_status,
           print_graph_check(app.name, result.campaign, sreport.graph));
+    if (args.alias_check)
+      alias_status = std::max(
+          alias_status,
+          print_alias_check(app.name, result.campaign, sreport.write_sets));
     if (args.lint)
       lint_status =
           std::max(lint_status, print_lint(app.name, result.campaign, sreport));
@@ -689,8 +730,8 @@ int run_all(const Args& args) {
       std::cout << "wrote " << path << " (" << traces.size() << " apps, "
                 << events << " events)\n";
   }
-  if (args.lint || args.graph_check)
-    return std::max(lint_status, graph_status);
+  if (args.lint || args.graph_check || args.alias_check)
+    return std::max({lint_status, graph_status, alias_status});
   if (args.validate_checkpoints) {
     std::cout << "checkpoint validator: " << validator_divergences
               << " divergences across " << results.size() << " campaigns\n";
