@@ -104,6 +104,9 @@ class JsonArray {
 /// knobs that make two BENCH_*.json files incomparable when they differ.
 inline std::string bench_meta_json() {
   return JsonObject{}
+      // Artifact schema counter, shared with campaign_json: bumped to 2 when
+      // the "recovery" stats section and recovery bench artifacts landed.
+      .put("schema_version", 2)
 #ifdef FATOMIC_GIT_DESCRIBE
       .put("git", FATOMIC_GIT_DESCRIBE)
 #else

@@ -1,10 +1,9 @@
 // fatomic::Config — the unified public configuration surface.
 //
-// Four subsystems accreted their own knob structs over time
-// (detect::Options, mask::MaskOptions, weave::Runtime setters, Policy
-// flags).  Config collapses them into one builder that covers the whole
-// pipeline: campaign shape (jobs, max_runs), masking (wrap predicate,
-// partial checkpoint plans, validation), static pruning, programmer policy
+// Several subsystems accreted their own knob structs over time; Config
+// collapses them into one builder that covers the whole pipeline: campaign
+// shape (jobs, max_runs), masking (wrap predicate, partial checkpoint
+// plans, validation), recovery policies, static pruning, programmer policy
 // (exception-free / no-wrap declarations), diff recording and tracing.
 //
 //   fatomic::Config cfg;
@@ -16,8 +15,9 @@
 //   auto verified = fatomic::mask::verify_masked_full(program, cfg);
 //
 // Every setter returns *this, so configurations chain; getters expose the
-// state the pipeline entry points consume.  The legacy structs survive one
-// release as [[deprecated]] adapters (detect::Options, mask::MaskOptions).
+// state the pipeline entry points consume.  (The historic detect::Options
+// and mask::MaskOptions adapters completed their deprecation cycle and are
+// gone — see DESIGN.md's migration table.)
 #pragma once
 
 #include <cstdint>
@@ -85,6 +85,32 @@ class Config {
   }
   snapshot::BackendKind checkpoint_backend() const { return settings_.backend; }
 
+  // --- recovery (DESIGN.md §14) -------------------------------------------
+  /// Installs a complete recovery policy table: masked methods with an
+  /// entry route through the policy engine instead of the fixed
+  /// rollback-and-rethrow.  Null (the default) leaves the engine off.
+  /// Typically fed from recovery::derive_policy_table or a `--policy-file`
+  /// JSON document (recovery::load_policy_file).
+  Config& recovery(std::shared_ptr<const recovery::PolicyTable> table) {
+    settings_.recovery_policies = std::move(table);
+    recovery_builder_.reset();
+    return *this;
+  }
+  /// Builder form: accumulates per-method policies into a table owned by
+  /// this Config.  Chains with the other setters; later calls for the same
+  /// method overwrite.
+  Config& recovery_policy(const std::string& qualified_name,
+                          recovery::RecoveryPolicy policy) {
+    if (recovery_builder_ == nullptr)
+      recovery_builder_ = std::make_shared<recovery::PolicyTable>();
+    recovery_builder_->set(qualified_name, std::move(policy));
+    settings_.recovery_policies = recovery_builder_;
+    return *this;
+  }
+  const std::shared_ptr<const recovery::PolicyTable>& recovery() const {
+    return settings_.recovery_policies;
+  }
+
   // --- static pruning -----------------------------------------------------
   /// Qualified names statically proven failure atomic; thresholds whose
   /// whole injection-time stack lies in this set skip their injector run.
@@ -143,6 +169,9 @@ class Config {
  private:
   detect::CampaignSettings settings_;
   detect::Policy policy_;
+  /// Mutable table the recovery_policy() builder accumulates into; aliased
+  /// by settings_.recovery_policies while building.
+  std::shared_ptr<recovery::PolicyTable> recovery_builder_;
 };
 
 }  // namespace fatomic

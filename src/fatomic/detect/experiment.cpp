@@ -74,6 +74,25 @@ class ScopedPlans {
   bool saved_validate_;
 };
 
+/// RAII: installs a recovery policy table for the campaign and restores the
+/// runtime's previous table after.  Workers inherit it through
+/// adopt_config().
+class ScopedPolicies {
+ public:
+  explicit ScopedPolicies(std::shared_ptr<const recovery::PolicyTable> table)
+      : saved_(weave::Runtime::instance().recovery_policies()) {
+    if (table) weave::Runtime::instance().set_recovery_policies(std::move(table));
+  }
+  ~ScopedPolicies() {
+    weave::Runtime::instance().set_recovery_policies(std::move(saved_));
+  }
+  ScopedPolicies(const ScopedPolicies&) = delete;
+  ScopedPolicies& operator=(const ScopedPolicies&) = delete;
+
+ private:
+  std::shared_ptr<const recovery::PolicyTable> saved_;
+};
+
 /// RAII: selects the full-checkpoint backend for the campaign and restores
 /// the runtime's previous selection after.  Workers inherit the selection
 /// through adopt_config().
@@ -303,6 +322,7 @@ Campaign Experiment::run() {
   ScopedWrap wrap(opts_.masked ? opts_.wrap : nullptr);
   ScopedPlans plans(opts_.masked ? opts_.checkpoint_plans : nullptr,
                     opts_.validate_checkpoints);
+  ScopedPolicies policies(opts_.masked ? opts_.recovery_policies : nullptr);
   ScopedBackend backend(opts_.backend);
   const weave::Mode mode =
       opts_.masked ? weave::Mode::InjectMask : weave::Mode::Inject;

@@ -33,8 +33,8 @@ class Experiment {
   /// (fatomic/config.hpp).
   Experiment(std::function<void()> program, const fatomic::Config& config);
 
-  /// Low-level entry point; the deprecated detect::Options adapter lands
-  /// here by inheritance.
+  /// Low-level entry point consuming the internal settings carrier
+  /// directly.
   explicit Experiment(std::function<void()> program,
                       CampaignSettings opts = {});
 

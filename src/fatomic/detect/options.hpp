@@ -1,12 +1,10 @@
 // Campaign settings for the automated-experiment driver.
 //
-// CampaignSettings is the internal, non-deprecated carrier detect::Experiment
-// consumes.  User code should not populate it field by field: the supported
-// entry point is the fatomic::Config builder (fatomic/config.hpp), which
-// covers detection, masking, pruning, checkpointing and tracing in one
-// surface and converts to CampaignSettings internally.  The historic
-// detect::Options struct remains as a thin deprecated adapter for one
-// release.
+// CampaignSettings is the internal carrier detect::Experiment consumes.
+// User code should not populate it field by field: the supported entry
+// point is the fatomic::Config builder (fatomic/config.hpp), which covers
+// detection, masking, pruning, checkpointing, recovery and tracing in one
+// surface and converts to CampaignSettings internally.
 #pragma once
 
 #include <cstdint>
@@ -89,13 +87,14 @@ struct CampaignSettings {
   /// "exception_provenance" section.  Off by default; a no-op on builds with
   /// the FATOMIC_PROVENANCE kill switch off.
   bool provenance = false;
-};
 
-/// Deprecated spelling of CampaignSettings, kept as a thin adapter for one
-/// release.  It adds nothing — passing it anywhere a CampaignSettings is
-/// expected works by inheritance.
-struct [[deprecated(
-    "configure campaigns with fatomic::Config (fatomic/config.hpp)")]]
-Options : CampaignSettings {};
+  /// Recovery policy table (DESIGN.md §14) installed into the runtime for
+  /// the duration of the campaign; the masking wrappers route methods with
+  /// an entry through the policy engine.  Null leaves whatever table the
+  /// runtime already holds — with none installed anywhere, campaign
+  /// semantics are bit-identical to a build without the engine.  Only
+  /// meaningful with `masked`.
+  std::shared_ptr<const recovery::PolicyTable> recovery_policies;
+};
 
 }  // namespace fatomic::detect

@@ -44,6 +44,9 @@
 #include "fatomic/detect/policy.hpp"
 #include "fatomic/mask/masker.hpp"
 #include "fatomic/memory/rc_ptr.hpp"
+#include "fatomic/recovery/derive.hpp"
+#include "fatomic/recovery/policy.hpp"
+#include "fatomic/recovery/policy_io.hpp"
 #include "fatomic/reflect/reflect.hpp"
 #include "fatomic/report/json.hpp"
 #include "fatomic/report/json_parse.hpp"

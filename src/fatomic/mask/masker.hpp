@@ -46,12 +46,13 @@ class MaskedScope {
  public:
   explicit MaskedScope(weave::Runtime::WrapPredicate wrap);
   /// P_C with field-granular checkpoints: additionally installs `plans`,
-  /// the completeness-validator flag and the full-checkpoint backend for
-  /// the scope's lifetime.
+  /// the completeness-validator flag, the full-checkpoint backend and
+  /// (optionally) a recovery policy table for the scope's lifetime.
   MaskedScope(weave::Runtime::WrapPredicate wrap,
               std::shared_ptr<const weave::PlanMap> plans,
               bool validate = false,
-              snapshot::BackendKind backend = snapshot::default_backend());
+              snapshot::BackendKind backend = snapshot::default_backend(),
+              std::shared_ptr<const recovery::PolicyTable> policies = nullptr);
   ~MaskedScope();
   MaskedScope(const MaskedScope&) = delete;
   MaskedScope& operator=(const MaskedScope&) = delete;
@@ -62,6 +63,7 @@ class MaskedScope {
   std::shared_ptr<const weave::PlanMap> saved_plans_;
   bool saved_validate_;
   snapshot::BackendKind saved_backend_;
+  std::shared_ptr<const recovery::PolicyTable> saved_policies_;
 };
 
 /// Checkpointing configuration for a mask-verify campaign.  Like
@@ -82,13 +84,10 @@ struct VerifySettings {
   bool trace = false;
   /// Full-checkpoint backend for the verification campaign (DESIGN.md §10).
   snapshot::BackendKind backend = snapshot::default_backend();
+  /// Recovery policy table installed for the verification campaign
+  /// (DESIGN.md §14); null leaves the engine off.
+  std::shared_ptr<const recovery::PolicyTable> policies;
 };
-
-/// Deprecated spelling of VerifySettings, kept as a thin adapter for one
-/// release.
-struct [[deprecated(
-    "configure mask verification with fatomic::Config (fatomic/config.hpp)")]]
-MaskOptions : VerifySettings {};
 
 /// verify_masked plus the raw campaign — callers that need the checkpoint
 /// counters (partial/fallback/validator stats) read them off the campaign.

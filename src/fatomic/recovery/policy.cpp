@@ -1,0 +1,30 @@
+#include "fatomic/recovery/policy.hpp"
+
+namespace fatomic::recovery {
+
+const char* to_string(Action a) {
+  switch (a) {
+    case Action::Rollback:
+      return "rollback";
+    case Action::RethrowAs:
+      return "rethrow_as";
+    case Action::EarlyReturn:
+      return "early_return";
+    case Action::Retry:
+      return "retry";
+    case Action::Degrade:
+      return "degrade";
+  }
+  return "?";
+}
+
+Action parse_action(const std::string& tag) {
+  if (tag == "rollback") return Action::Rollback;
+  if (tag == "rethrow_as") return Action::RethrowAs;
+  if (tag == "early_return") return Action::EarlyReturn;
+  if (tag == "retry") return Action::Retry;
+  if (tag == "degrade") return Action::Degrade;
+  throw std::invalid_argument("unknown recovery action: '" + tag + "'");
+}
+
+}  // namespace fatomic::recovery

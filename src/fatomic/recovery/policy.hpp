@@ -1,0 +1,160 @@
+// The recovery policy lattice — the generalization of the paper's single
+// recovery strategy (rollback-and-rethrow, Listing 2 lines 8-10) into a
+// per-method decision on the lattice
+//
+//   rollback | rethrow_as(T) | early_return | retry(n, backoff) | degrade
+//
+// following Ares' recovery operators and TripleAgent's perturbation/recovery
+// split (PAPERS.md).  A PolicyTable maps qualified method names to policies;
+// the atomicity wrapper (weave/invoke.hpp, masked_call) consults the table
+// installed in the runtime and applies the selected action when an exception
+// unwinds through a wrapped call.  Tables are *derived from campaign
+// evidence* (recovery/derive.hpp), never guessed: every action is backed by
+// a static proof or a dynamically validated plan, and the runtime still
+// re-checks the assumptions each action rests on (see the field comments).
+//
+// This header is dependency-free within fatomic so the weaving runtime can
+// hold a table without layering cycles; derivation (analyze/detect evidence)
+// and JSON io live in their own translation units.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace fatomic::recovery {
+
+/// What the atomicity wrapper does when an exception unwinds through a
+/// wrapped call.  Ordered from most to least conservative — derivation only
+/// moves a method down this list when evidence licenses it.
+enum class Action : std::uint8_t {
+  /// The paper's strategy: restore the entry checkpoint, rethrow the
+  /// original exception.  Always sound; the pinned action for ⊤-collapsed
+  /// write sets and escape-heavy methods.
+  Rollback,
+  /// Rollback, then throw recovery::ServiceError naming the original type —
+  /// exception transformation for types that historically escape the whole
+  /// program (the caller demonstrably never handles them, so a stable
+  /// boundary type loses nothing and gives outer layers one type to catch).
+  RethrowAs,
+  /// Rollback, swallow, and return a neutral (value-initialized) result —
+  /// Ares' early-return operator.  Only applied when the wrapped method's
+  /// return type is void or value-initializable; anything else falls back
+  /// to Rollback at the call site.
+  EarlyReturn,
+  /// Re-execute the method body up to `retry_budget` times.  Proven-atomic
+  /// methods retry without any checkpoint (a failed attempt provably left
+  /// no trace); methods with a verified partial plan roll the plan-scoped
+  /// checkpoint back before every attempt.  Budget exhaustion falls back to
+  /// rollback + rethrow.
+  Retry,
+  /// Failure-oblivious continuation, guarded: compare post-exception state
+  /// against the entry checkpoint and swallow the exception only when the
+  /// two are equal — a corrupted-state verdict is never masked; it rolls
+  /// back and rethrows instead.
+  Degrade,
+};
+
+/// Stable lowercase tag ("rollback", "rethrow_as", ...) used by reports,
+/// metrics and the JSON round trip.
+const char* to_string(Action a);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown tags.
+Action parse_action(const std::string& tag);
+
+/// The per-method recovery decision.
+struct RecoveryPolicy {
+  Action action = Action::Rollback;
+
+  /// RethrowAs: demangled name of the boundary exception type recorded in
+  /// the transformed exception's what() — diagnostic only, the thrown C++
+  /// type is always recovery::ServiceError.
+  std::string rethrow_type;
+
+  /// Retry: additional attempts after the first failure.  0 with
+  /// action == Retry degenerates to rollback + rethrow.
+  unsigned retry_budget = 0;
+
+  /// Retry: microseconds slept before attempt k+1 is backoff_us << k —
+  /// bounded exponential backoff for transient-fault workloads.  0 retries
+  /// immediately (the injector's faults are deterministic, so campaign
+  /// verification keeps this at 0; the live bench exercises it).
+  unsigned backoff_us = 0;
+
+  /// Retry: take (and restore before each attempt) the entry checkpoint.
+  /// False only for statically proven-atomic methods, whose failed attempts
+  /// provably cannot have mutated the receiver.
+  bool rollback_before_retry = true;
+
+  /// Exception-type-specific overrides, keyed by the demangled type name the
+  /// wrapper observes (weave::current_exception_type_name).  Derived from
+  /// the provenance throw-site histograms: e.g. a type whose observations
+  /// always escaped the program gets RethrowAs here even when the method's
+  /// base action is Retry.
+  std::map<std::string, Action> exception_overrides;
+
+  /// The action for a given observed exception type.
+  Action action_for(const std::string& exception_type) const {
+    auto it = exception_overrides.find(exception_type);
+    return it == exception_overrides.end() ? action : it->second;
+  }
+
+  bool operator==(const RecoveryPolicy& o) const {
+    return action == o.action && rethrow_type == o.rethrow_type &&
+           retry_budget == o.retry_budget && backoff_us == o.backoff_us &&
+           rollback_before_retry == o.rollback_before_retry &&
+           exception_overrides == o.exception_overrides;
+  }
+  bool operator!=(const RecoveryPolicy& o) const { return !(*this == o); }
+};
+
+/// Qualified-method-name → policy.  Methods without an entry keep the
+/// engine-off behaviour (plain rollback + rethrow through the existing
+/// masked_call path), so installing an empty table changes nothing.
+class PolicyTable {
+ public:
+  void set(const std::string& qualified_name, RecoveryPolicy policy) {
+    policies_[qualified_name] = std::move(policy);
+  }
+
+  /// The policy for a method, or null when the table has no entry.
+  const RecoveryPolicy* find(const std::string& qualified_name) const {
+    auto it = policies_.find(qualified_name);
+    return it == policies_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, RecoveryPolicy>& policies() const {
+    return policies_;
+  }
+  std::size_t size() const { return policies_.size(); }
+  bool empty() const { return policies_.empty(); }
+
+  bool operator==(const PolicyTable& o) const {
+    return policies_ == o.policies_;
+  }
+
+ private:
+  std::map<std::string, RecoveryPolicy> policies_;
+};
+
+/// The stable boundary exception RethrowAs transforms into: what() carries
+/// the original type and the policy's rethrow_type so logs stay diagnosable
+/// after the transformation.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(const std::string& original_type,
+               const std::string& boundary_type)
+      : std::runtime_error("recovery: " +
+                           (boundary_type.empty() ? std::string("ServiceError")
+                                                  : boundary_type) +
+                           " (transformed from " + original_type + ")"),
+        original_type_(original_type) {}
+
+  const std::string& original_type() const { return original_type_; }
+
+ private:
+  std::string original_type_;
+};
+
+}  // namespace fatomic::recovery

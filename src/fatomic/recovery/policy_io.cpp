@@ -1,0 +1,198 @@
+#include "fatomic/recovery/policy_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fatomic/report/json.hpp"
+#include "fatomic/report/json_parse.hpp"
+
+namespace fatomic::recovery {
+
+namespace {
+
+/// Translates a byte offset (the position report::json_parse reports) into
+/// the 1-based line/column a human can jump to.
+std::pair<std::size_t, std::size_t> line_col(const std::string& text,
+                                             std::size_t offset) {
+  std::size_t line = 1;
+  std::size_t col = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return {line, col};
+}
+
+[[noreturn]] void fail(const std::string& origin, const std::string& text,
+                       std::size_t offset, const std::string& what) {
+  const auto [line, col] = line_col(text, offset);
+  std::ostringstream os;
+  if (!origin.empty()) os << origin << ": ";
+  os << "policy table: line " << line << ", column " << col << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+/// Semantic errors discovered after parsing have no byte offset of their
+/// own; they point at the start of the document.
+[[noreturn]] void fail(const std::string& origin, const std::string& what) {
+  std::ostringstream os;
+  if (!origin.empty()) os << origin << ": ";
+  os << "policy table: " << what;
+  throw std::runtime_error(os.str());
+}
+
+/// Semantic errors about a specific token (an unknown action tag, say) can
+/// recover a position by finding the quoted token in the source text.
+[[noreturn]] void fail_at_token(const std::string& origin,
+                                const std::string& text,
+                                const std::string& token,
+                                const std::string& what) {
+  const std::size_t pos = text.find('"' + token + '"');
+  if (pos != std::string::npos) fail(origin, text, pos + 1, what);
+  fail(origin, what);
+}
+
+std::uint64_t uint_field(const report::JsonValue& obj, const char* key,
+                         const std::string& origin) {
+  const report::JsonValue* v = obj.find(key);
+  if (v == nullptr) return 0;
+  if (!v->is_number() || v->number < 0)
+    fail(origin, std::string("'") + key + "' must be a non-negative number");
+  return static_cast<std::uint64_t>(v->number);
+}
+
+}  // namespace
+
+std::string policy_table_json(const PolicyTable& table) {
+  std::ostringstream os;
+  os << "{\"schema_version\":2,\"policies\":[";
+  bool first = true;
+  for (const auto& [name, pol] : table.policies()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"method\":\"" << report::json_escape(name) << "\",\"action\":\""
+       << to_string(pol.action) << '"';
+    if (pol.retry_budget != 0) os << ",\"retry_budget\":" << pol.retry_budget;
+    if (pol.backoff_us != 0) os << ",\"backoff_us\":" << pol.backoff_us;
+    if (!pol.rollback_before_retry) os << ",\"rollback_before_retry\":false";
+    if (!pol.rethrow_type.empty())
+      os << ",\"rethrow_type\":\"" << report::json_escape(pol.rethrow_type)
+         << '"';
+    if (!pol.exception_overrides.empty()) {
+      os << ",\"overrides\":[";
+      bool ofirst = true;
+      for (const auto& [type, action] : pol.exception_overrides) {
+        if (!ofirst) os << ',';
+        ofirst = false;
+        os << "{\"exception\":\"" << report::json_escape(type)
+           << "\",\"action\":\"" << to_string(action) << "\"}";
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+PolicyTable parse_policy_table(const std::string& text,
+                               const std::string& origin) {
+  report::JsonValue root;
+  try {
+    root = report::json_parse(text);
+  } catch (const std::runtime_error& e) {
+    // json_parse reports "json parse error at byte N: <what>"; lift the
+    // offset into line/column and keep the underlying message.
+    const std::string msg = e.what();
+    const std::string marker = "at byte ";
+    const std::size_t at = msg.find(marker);
+    std::size_t offset = 0;
+    std::string what = msg;
+    if (at != std::string::npos) {
+      std::size_t i = at + marker.size();
+      while (i < msg.size() && std::isdigit(static_cast<unsigned char>(msg[i])))
+        offset = offset * 10 + static_cast<std::size_t>(msg[i++] - '0');
+      const std::size_t colon = msg.find(": ", i);
+      if (colon != std::string::npos) what = msg.substr(colon + 2);
+    }
+    fail(origin, text, offset, what);
+  }
+
+  if (!root.is_object()) fail(origin, "document must be an object");
+  const report::JsonValue* version = root.find("schema_version");
+  if (version == nullptr || !version->is_number())
+    fail(origin, "missing \"schema_version\"");
+  if (version->as_int() > 2)
+    fail(origin, "unsupported schema_version " +
+                     std::to_string(version->as_int()) +
+                     " (this build reads up to 2)");
+  const report::JsonValue* policies = root.find("policies");
+  if (policies == nullptr || !policies->is_array())
+    fail(origin, "missing \"policies\" array");
+
+  PolicyTable table;
+  for (const report::JsonValue& entry : policies->array) {
+    if (!entry.is_object()) fail(origin, "policy entries must be objects");
+    const report::JsonValue* method = entry.find("method");
+    if (method == nullptr || !method->is_string() || method->string.empty())
+      fail(origin, "policy entry missing \"method\"");
+    const report::JsonValue* action = entry.find("action");
+    if (action == nullptr || !action->is_string())
+      fail(origin, "policy for '" + method->string + "' missing \"action\"");
+
+    RecoveryPolicy pol;
+    try {
+      pol.action = parse_action(action->string);
+    } catch (const std::invalid_argument& e) {
+      fail_at_token(origin, text, action->string,
+                    "policy for '" + method->string + "': " + e.what());
+    }
+    pol.retry_budget =
+        static_cast<unsigned>(uint_field(entry, "retry_budget", origin));
+    pol.backoff_us =
+        static_cast<unsigned>(uint_field(entry, "backoff_us", origin));
+    if (const report::JsonValue* rb = entry.find("rollback_before_retry")) {
+      if (!rb->is_bool())
+        fail(origin, "'rollback_before_retry' must be a boolean");
+      pol.rollback_before_retry = rb->boolean;
+    }
+    if (const report::JsonValue* rt = entry.find("rethrow_type")) {
+      if (!rt->is_string()) fail(origin, "'rethrow_type' must be a string");
+      pol.rethrow_type = rt->string;
+    }
+    if (const report::JsonValue* overrides = entry.find("overrides")) {
+      if (!overrides->is_array()) fail(origin, "'overrides' must be an array");
+      for (const report::JsonValue& ov : overrides->array) {
+        const report::JsonValue* type = ov.find("exception");
+        const report::JsonValue* oact = ov.find("action");
+        if (type == nullptr || !type->is_string() || oact == nullptr ||
+            !oact->is_string())
+          fail(origin, "overrides need \"exception\" and \"action\" strings");
+        try {
+          pol.exception_overrides[type->string] = parse_action(oact->string);
+        } catch (const std::invalid_argument& e) {
+          fail_at_token(origin, text, oact->string,
+                        "override for '" + type->string + "': " + e.what());
+        }
+      }
+    }
+    table.set(method->string, std::move(pol));
+  }
+  return table;
+}
+
+PolicyTable load_policy_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(path + ": cannot open policy file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_policy_table(buf.str(), path);
+}
+
+}  // namespace fatomic::recovery

@@ -169,7 +169,7 @@ std::string provenance_json(const detect::Campaign& campaign) {
 
 std::string campaign_json(const detect::Campaign& campaign) {
   std::ostringstream os;
-  os << "{\"runs\":" << campaign.runs.size()
+  os << "{\"schema_version\":2,\"runs\":" << campaign.runs.size()
      << ",\"injections\":" << campaign.injections()
      << ",\"pruned_runs\":" << campaign.pruned_runs
      << ",\"methods\":" << campaign.distinct_methods()
@@ -188,6 +188,15 @@ std::string campaign_json(const detect::Campaign& campaign) {
      << ",\"memcmp_compares\":" << campaign.stats.memcmp_compares
      << ",\"compare_fallbacks\":" << campaign.stats.compare_fallbacks
      << ",\"restore_errors\":" << campaign.stats.restore_errors
+     << "},\"recovery\":{\"faults_injected\":" << campaign.stats.faults_injected
+     << ",\"retry_attempts\":" << campaign.stats.retry_attempts
+     << ",\"retry_successes\":" << campaign.stats.retry_successes
+     << ",\"retry_exhaustions\":" << campaign.stats.retry_exhaustions
+     << ",\"degraded_calls\":" << campaign.stats.degraded_calls
+     << ",\"degrade_refusals\":" << campaign.stats.degrade_refusals
+     << ",\"early_returns\":" << campaign.stats.early_returns
+     << ",\"transformed_rethrows\":" << campaign.stats.transformed_rethrows
+     << ",\"policy_rollbacks\":" << campaign.stats.policy_rollbacks
      << "},\"details\":[";
   bool first = true;
   for (const auto& run : campaign.runs) {

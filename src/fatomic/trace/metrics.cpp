@@ -137,6 +137,24 @@ MetricsRegistry campaign_metrics(const detect::Campaign& campaign) {
   m.add("stats.compare_fallbacks", s.compare_fallbacks);
   m.add("stats.restore_errors", s.restore_errors);
   m.add("stats.exceptions_thrown", s.exceptions_thrown);
+  m.add("stats.faults_injected", s.faults_injected);
+  m.add("stats.retry_attempts", s.retry_attempts);
+  m.add("stats.retry_successes", s.retry_successes);
+  m.add("stats.retry_exhaustions", s.retry_exhaustions);
+  m.add("stats.degraded_calls", s.degraded_calls);
+  m.add("stats.degrade_refusals", s.degrade_refusals);
+  m.add("stats.early_returns", s.early_returns);
+  m.add("stats.transformed_rethrows", s.transformed_rethrows);
+  m.add("stats.policy_rollbacks", s.policy_rollbacks);
+  // Recovery policy engine rollup (DESIGN.md §14): completed recoveries by
+  // the action that resolved them.
+  m.add("recoveries_by_policy.retry", s.retry_successes);
+  m.add("recoveries_by_policy.rollback", s.policy_rollbacks);
+  m.add("recoveries_by_policy.rethrow_as", s.transformed_rethrows);
+  m.add("recoveries_by_policy.early_return", s.early_returns);
+  m.add("recoveries_by_policy.degrade", s.degraded_calls);
+  m.add("retry_exhaustions", s.retry_exhaustions);
+  m.add("degraded_calls", s.degraded_calls);
   m.add("campaign.runs", campaign.runs.size());
   m.add("campaign.injections", campaign.injections());
   m.add("campaign.pruned_runs", campaign.pruned_runs);
@@ -194,6 +212,13 @@ MetricsRegistry campaign_metrics(const detect::Campaign& campaign) {
         break;
       case EventKind::PlanLookup:
         m.add(e.value != 0 ? "plan_lookups.hit" : "plan_lookups.miss");
+        break;
+      case EventKind::Recovery:
+        // Per-action recovery latency ("recovery_ns.retry", ...).
+        m.histogram("recovery_ns." + e.detail).observe(e.dur_ns);
+        break;
+      case EventKind::Fault:
+        m.add("faults.production");
         break;
       default:
         break;

@@ -38,6 +38,10 @@ const char* to_string(EventKind kind) {
       return "restore-error";
     case EventKind::ThrowSite:
       return "throw-site";
+    case EventKind::Recovery:
+      return "recovery";
+    case EventKind::Fault:
+      return "fault";
   }
   return "?";
 }

@@ -51,6 +51,8 @@ enum class EventKind : std::uint8_t {
   ArenaCompare,       ///< span: arena compare; value = memcmp decided (1/0)
   RestoreFailure,     ///< instant: rollback failed mid-replay (RestoreError)
   ThrowSite,          ///< instant: captured throw backtrace; value = stack id
+  Recovery,           ///< span: policy-engine recovery; detail = action tag
+  Fault,              ///< instant: production-mode fault raised (fault_period)
 };
 
 /// Stable lowercase tag ("run", "snapshot", ...) used by every exporter.

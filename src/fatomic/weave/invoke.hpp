@@ -13,10 +13,15 @@
 //   Direct      — the original program P.
 #pragma once
 
+#include <chrono>
+#include <optional>
+#include <thread>
 #include <tuple>
 #include <type_traits>
 #include <utility>
 
+#include "fatomic/common/error.hpp"
+#include "fatomic/recovery/policy.hpp"
 #include "fatomic/snapshot/backend.hpp"
 #include "fatomic/snapshot/diff.hpp"
 #include "fatomic/snapshot/partial.hpp"
@@ -74,6 +79,17 @@ snapshot::Checkpoint take_full_checkpoint(const MethodInfo& mi,
   return cp;
 }
 
+/// RAII marker: subject code reached through this scope was entered by the
+/// engine itself (rollback replay), so dispatch() routes it straight to the
+/// body — no injection points, faults, counting or nested wrapping.
+struct EngineScope {
+  Runtime& rt;
+  explicit EngineScope(Runtime& r) : rt(r) { ++rt.engine_depth; }
+  ~EngineScope() { --rt.engine_depth; }
+  EngineScope(const EngineScope&) = delete;
+  EngineScope& operator=(const EngineScope&) = delete;
+};
+
 /// Rolls `root` back to `cp`, translating a mid-replay failure into the
 /// restore_errors counter + a RestoreFailure event before letting the
 /// RestoreError propagate (the receiver may be partially restored — masking
@@ -82,6 +98,10 @@ template <class Root>
 void rollback_to(const MethodInfo& mi, Root& root,
                  const snapshot::Checkpoint& cp, Runtime& rt) {
   try {
+    // Restoring containers of instrumented objects re-runs their
+    // constructors; those entries must not fire injection points of their
+    // own (the engine would sabotage its own rollback).
+    EngineScope engine(rt);
     cp.restore_to(root);
   } catch (const RestoreError&) {
     ++rt.stats.restore_errors;
@@ -90,6 +110,205 @@ void rollback_to(const MethodInfo& mi, Root& root,
   }
   ++rt.stats.rollbacks;
   rt.trace.instant(trace::EventKind::Rollback, &mi, /*partial=*/0);
+}
+
+/// Production-mode fault source (DESIGN.md §14): raises an
+/// InjectedRuntimeError inside the protected region on every
+/// fault_period-th attempt.  Unlike campaign injection points (exact
+/// counter equality, one firing per run) this is periodic and advances per
+/// attempt, so a retried call faces a fresh — usually passing — fault
+/// decision: the transient-fault model the retry policy is built for.
+/// fault_period == 0 (the default) makes this a no-op.
+inline void maybe_inject_fault(const MethodInfo& mi, Runtime& rt) {
+  if (rt.fault_period == 0) return;
+  if (++rt.fault_counter % rt.fault_period != 0) return;
+  ++rt.stats.faults_injected;
+  if (rt.trace.enabled())
+    rt.trace.instant(trace::EventKind::Fault, &mi, rt.fault_counter);
+  throw InjectedRuntimeError();
+}
+
+/// Policy-engine wrapper (DESIGN.md §14): generalizes the atomicity
+/// wrapper's fixed rollback-and-rethrow into the action the installed
+/// RecoveryPolicy selects for the observed exception type.  Reached only
+/// when the runtime has a policy table with an entry for `mi`; with no
+/// table the classic masked_call path below runs unchanged.
+template <class Root, class Fn>
+std::invoke_result_t<Fn&> recovered_call(const MethodInfo& mi, Root& root,
+                                         Fn& body, Runtime& rt,
+                                         const recovery::RecoveryPolicy& pol) {
+  using recovery::Action;
+  using R = std::invoke_result_t<Fn&>;
+  // early_return / degrade can only synthesize a neutral result for void or
+  // value-initializable returns; anything else falls back to rollback.
+  constexpr bool kNeutralReturn =
+      std::is_void_v<R> ||
+      (std::is_default_constructible_v<R> && !std::is_reference_v<R>);
+
+  // Which recovery paths this policy can reach decides the checkpoint the
+  // attempt loop takes.  Only retry-without-rollback (statically proven
+  // atomic methods) runs checkpoint-free; degrade needs a *full* entry
+  // checkpoint because its guard is a whole-state compare, which a partial
+  // (plan-scoped) snapshot cannot answer.
+  auto needs_state = [&](Action a) {
+    return !(a == Action::Retry && !pol.rollback_before_retry);
+  };
+  bool need_checkpoint = needs_state(pol.action);
+  bool may_degrade = pol.action == Action::Degrade;
+  for (const auto& [type, act] : pol.exception_overrides) {
+    (void)type;
+    if (needs_state(act)) need_checkpoint = true;
+    if (act == Action::Degrade) may_degrade = true;
+  }
+  const snapshot::CheckpointPlan* plan =
+      need_checkpoint && !may_degrade ? rt.checkpoint_plan(mi) : nullptr;
+
+  for (unsigned attempt = 0;; ++attempt) {
+    std::optional<snapshot::PartialSnapshot> partial;
+    std::optional<snapshot::Checkpoint> full;
+    snapshot::Snapshot shadow;  // validate_checkpoints shadow for partials
+    if (need_checkpoint) {
+      if (plan != nullptr) {
+        const std::uint64_t t0 = rt.trace.begin_span();
+        partial.emplace(snapshot::partial_capture(root, *plan));
+        if (partial->ok) {
+          ++rt.stats.partial_checkpoints;
+          rt.stats.checkpoint_units += partial->values.size();
+          rt.trace.span(trace::EventKind::PartialCheckpoint, t0, &mi,
+                        partial->values.size());
+          if (rt.validate_checkpoints) shadow = snapshot::capture(root);
+        } else {
+          partial.reset();
+          ++rt.stats.partial_fallbacks;
+          rt.trace.instant(trace::EventKind::PartialFallback, &mi);
+        }
+      }
+      if (!partial) {
+        full.emplace(take_full_checkpoint(mi, root, rt, rt.checkpoint_backend,
+                                          /*count_snapshot=*/true));
+        rt.stats.checkpoint_units += full->units();
+      }
+    }
+
+    auto restore = [&] {
+      if (partial) {
+        {
+          EngineScope engine(rt);
+          snapshot::partial_restore(root, *partial, *plan);
+        }
+        ++rt.stats.rollbacks;
+        rt.trace.instant(trace::EventKind::Rollback, &mi, /*partial=*/1);
+        if (rt.validate_checkpoints) {
+          snapshot::Snapshot restored = snapshot::capture(root);
+          if (!shadow.equals(restored)) {
+            ++rt.stats.validator_divergences;
+            rt.trace.instant(trace::EventKind::Validator, &mi);
+          }
+        }
+      } else if (full) {
+        rollback_to(mi, root, *full, rt);
+      }
+      // Retry-without-rollback: nothing captured, nothing to restore — the
+      // atomicity proof is the checkpoint.
+    };
+
+    try {
+      maybe_inject_fault(mi, rt);
+      if constexpr (std::is_void_v<R>) {
+        body();
+        if (attempt != 0) ++rt.stats.retry_successes;
+        return;
+      } else {
+        R result = body();
+        if (attempt != 0) ++rt.stats.retry_successes;
+        return std::forward<R>(result);
+      }
+    } catch (...) {
+      const std::uint64_t t0 = rt.trace.begin_span();
+      const std::string ex_type = current_exception_type_name();
+      switch (pol.action_for(ex_type)) {
+        case Action::Retry:
+          if (attempt < pol.retry_budget) {
+            restore();
+            ++rt.stats.retry_attempts;
+            rt.trace.span(trace::EventKind::Recovery, t0, &mi, attempt + 1,
+                          "retry");
+            if (pol.backoff_us != 0) {
+              const unsigned shift = attempt < 10 ? attempt : 10;
+              std::this_thread::sleep_for(std::chrono::microseconds(
+                  static_cast<std::uint64_t>(pol.backoff_us) << shift));
+            }
+            break;  // next attempt
+          }
+          // Budget exhausted: the policy's fallback is the paper's strategy.
+          restore();
+          ++rt.stats.retry_exhaustions;
+          rt.trace.span(trace::EventKind::Recovery, t0, &mi, attempt,
+                        "retry-exhausted");
+          throw;
+        case Action::Rollback:
+          restore();
+          ++rt.stats.policy_rollbacks;
+          rt.trace.span(trace::EventKind::Recovery, t0, &mi, 0, "rollback");
+          throw;
+        case Action::RethrowAs:
+          restore();
+          ++rt.stats.transformed_rethrows;
+          rt.trace.span(trace::EventKind::Recovery, t0, &mi, 0, "rethrow_as");
+          throw recovery::ServiceError(ex_type, pol.rethrow_type);
+        case Action::EarlyReturn:
+          restore();
+          if constexpr (kNeutralReturn) {
+            ++rt.stats.early_returns;
+            rt.trace.span(trace::EventKind::Recovery, t0, &mi, 0,
+                          "early_return");
+            if constexpr (std::is_void_v<R>)
+              return;
+            else
+              return R{};
+          } else {
+            ++rt.stats.policy_rollbacks;
+            rt.trace.span(trace::EventKind::Recovery, t0, &mi, 0, "rollback");
+            throw;
+          }
+        case Action::Degrade: {
+          // Guarded failure-oblivious continuation: swallow ONLY when the
+          // post-exception state equals the entry checkpoint — a
+          // corrupted-state verdict is never masked.
+          bool intact = false;
+          if (full) {
+            snapshot::Checkpoint after = snapshot::Checkpoint::take(
+                root, full->backend(), &rt.arena_pool);
+            ++rt.stats.comparisons;
+            bool used_memcmp = false;
+            intact = full->equals(after, &used_memcmp);
+          }
+          if constexpr (kNeutralReturn) {
+            if (intact) {
+              ++rt.stats.degraded_calls;
+              rt.trace.span(trace::EventKind::Recovery, t0, &mi, 1, "degrade");
+              if constexpr (std::is_void_v<R>)
+                return;
+              else
+                return R{};
+            }
+          }
+          if (!intact) {
+            restore();
+            ++rt.stats.degrade_refusals;
+            rt.trace.span(trace::EventKind::Recovery, t0, &mi, 0,
+                          "degrade-refused");
+          } else {
+            // State intact but the return type admits no neutral value: the
+            // checkpoint already matches, so plain rethrow is the rollback.
+            ++rt.stats.policy_rollbacks;
+            rt.trace.span(trace::EventKind::Recovery, t0, &mi, 0, "rollback");
+          }
+          throw;
+        }
+      }
+    }
+  }
 }
 
 /// Atomicity wrapper around `body` for checkpoint root `root` (the receiver,
@@ -107,6 +326,11 @@ decltype(auto) masked_call(const MethodInfo& mi, Root& root, Fn&& body,
   } else {
     if (!rt.should_wrap(mi)) return body();
     ++rt.stats.wrapped_calls;
+    // Recovery policy engine (DESIGN.md §14): a method with an installed
+    // policy routes through the action the evidence selected; without a
+    // table this path compiles to one memoized null check.
+    if (const recovery::RecoveryPolicy* pol = rt.recovery_policy(mi))
+      return recovered_call(mi, root, body, rt, *pol);
     // Field-granular fast path (DESIGN.md §8): when the write-set analysis
     // installed a partial plan for this method, capture only the planned
     // leaves.  The walker handles tuple roots from invoke_with too (partial
@@ -133,9 +357,13 @@ decltype(auto) masked_call(const MethodInfo& mi, Root& root, Fn&& body,
         snapshot::Snapshot shadow;
         if (rt.validate_checkpoints) shadow = snapshot::capture(root);
         try {
+          maybe_inject_fault(mi, rt);
           return body();
         } catch (...) {
-          snapshot::partial_restore(root, partial, *plan);
+          {
+            EngineScope engine(rt);
+            snapshot::partial_restore(root, partial, *plan);
+          }
           ++rt.stats.rollbacks;
           rt.trace.instant(trace::EventKind::Rollback, &mi, /*partial=*/1);
           if (rt.validate_checkpoints) {
@@ -165,6 +393,7 @@ decltype(auto) masked_call(const MethodInfo& mi, Root& root, Fn&& body,
       }
     }
     try {
+      maybe_inject_fault(mi, rt);
       return body();
     } catch (...) {
       rollback_to(mi, root, checkpoint, rt);
@@ -281,6 +510,9 @@ struct CountFrame {
 template <class Root, class Fn>
 decltype(auto) dispatch(const MethodInfo& mi, Root& root, Fn&& body) {
   Runtime& rt = Runtime::instance();
+  // Subject code reached from the engine's own replay (EngineScope) runs
+  // as the original program: no injection, wrapping or counting.
+  if (rt.engine_depth != 0) return body();
   switch (rt.mode()) {
     case Mode::Direct:
       return body();
@@ -322,6 +554,7 @@ decltype(auto) invoke_with(const MethodInfo& mi, Self* self,
 template <class Fn>
 decltype(auto) invoke_static(const MethodInfo& mi, Fn&& body) {
   Runtime& rt = Runtime::instance();
+  if (rt.engine_depth != 0) return body();
   // A receiverless method selected by the wrap predicate still counts as a
   // wrapped call — its atomicity wrapper is degenerate (nothing to
   // checkpoint), but the stats must reflect every call the mask routed

@@ -47,6 +47,9 @@ void Runtime::adopt_config(const Runtime& src) {
   provenance = src.provenance;
   plans_ = src.plans_;
   plan_memo_.clear();
+  policies_ = src.policies_;
+  policy_memo_.clear();
+  fault_period = src.fault_period;
   validate_checkpoints = src.validate_checkpoints;
   checkpoint_backend = src.checkpoint_backend;
   if (src.trace.enabled())
@@ -64,6 +67,15 @@ const snapshot::CheckpointPlan* Runtime::checkpoint_plan(const MethodInfo& mi) {
   if (it != plans_->end() && it->second.partial) plan = &it->second;
   plan_memo_.emplace(&mi, plan);
   return plan;
+}
+
+const recovery::RecoveryPolicy* Runtime::recovery_policy(const MethodInfo& mi) {
+  if (policies_ == nullptr) return nullptr;
+  auto memo = policy_memo_.find(&mi);
+  if (memo != policy_memo_.end()) return memo->second;
+  const recovery::RecoveryPolicy* pol = policies_->find(mi.qualified_name());
+  policy_memo_.emplace(&mi, pol);
+  return pol;
 }
 
 ScopedRuntime::ScopedRuntime(Runtime& rt) : saved_(tl_current) {

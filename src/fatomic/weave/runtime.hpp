@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "fatomic/recovery/policy.hpp"
 #include "fatomic/snapshot/backend.hpp"
 #include "fatomic/snapshot/partial.hpp"
 #include "fatomic/trace/trace.hpp"
@@ -119,6 +120,31 @@ struct RuntimeStats {
   /// or organic).  With provenance enabled this counts captured throws, so
   /// it equals the number of throw-site attributions made.
   std::uint64_t exceptions_thrown = 0;
+  // --- recovery policy engine (DESIGN.md §14) -----------------------------
+  /// Production-mode faults raised by the wrapper-level injector
+  /// (Runtime::fault_period) — distinct from campaign injection points.
+  std::uint64_t faults_injected = 0;
+  /// Re-execution attempts made under a retry policy (one per attempt after
+  /// the first failure).
+  std::uint64_t retry_attempts = 0;
+  /// Retried calls that ultimately completed — the calls the policy engine
+  /// healed outright.
+  std::uint64_t retry_successes = 0;
+  /// Retry budgets exhausted; the call fell back to rollback + rethrow.
+  std::uint64_t retry_exhaustions = 0;
+  /// Exceptions swallowed by a degrade policy after the state compare
+  /// confirmed the receiver was untouched.
+  std::uint64_t degraded_calls = 0;
+  /// Degrade decisions refused because the post-exception state differed
+  /// from the entry checkpoint — a corrupted-state verdict is never masked.
+  std::uint64_t degrade_refusals = 0;
+  /// Exceptions converted to a neutral return by an early_return policy.
+  std::uint64_t early_returns = 0;
+  /// Exceptions transformed into recovery::ServiceError by rethrow_as.
+  std::uint64_t transformed_rethrows = 0;
+  /// Rollback-and-rethrow recoveries performed *by the policy engine* (the
+  /// engine-off path counts its rollbacks in `rollbacks` alone).
+  std::uint64_t policy_rollbacks = 0;
 };
 
 inline RuntimeStats& operator+=(RuntimeStats& a, const RuntimeStats& b) {
@@ -136,6 +162,15 @@ inline RuntimeStats& operator+=(RuntimeStats& a, const RuntimeStats& b) {
   a.compare_fallbacks += b.compare_fallbacks;
   a.restore_errors += b.restore_errors;
   a.exceptions_thrown += b.exceptions_thrown;
+  a.faults_injected += b.faults_injected;
+  a.retry_attempts += b.retry_attempts;
+  a.retry_successes += b.retry_successes;
+  a.retry_exhaustions += b.retry_exhaustions;
+  a.degraded_calls += b.degraded_calls;
+  a.degrade_refusals += b.degrade_refusals;
+  a.early_returns += b.early_returns;
+  a.transformed_rethrows += b.transformed_rethrows;
+  a.policy_rollbacks += b.policy_rollbacks;
   return a;
 }
 
@@ -156,6 +191,15 @@ inline RuntimeStats operator-(RuntimeStats after, const RuntimeStats& before) {
   after.compare_fallbacks -= before.compare_fallbacks;
   after.restore_errors -= before.restore_errors;
   after.exceptions_thrown -= before.exceptions_thrown;
+  after.faults_injected -= before.faults_injected;
+  after.retry_attempts -= before.retry_attempts;
+  after.retry_successes -= before.retry_successes;
+  after.retry_exhaustions -= before.retry_exhaustions;
+  after.degraded_calls -= before.degraded_calls;
+  after.degrade_refusals -= before.degrade_refusals;
+  after.early_returns -= before.early_returns;
+  after.transformed_rethrows -= before.transformed_rethrows;
+  after.policy_rollbacks -= before.policy_rollbacks;
   return after;
 }
 
@@ -186,6 +230,12 @@ class Runtime {
   const MethodInfo* injected_method = nullptr;
   std::string injected_exception;
   int depth = 0;  ///< current injection-wrapper nesting depth
+  /// Non-zero while the engine itself is executing subject code on its own
+  /// behalf (rollback replay reconstructing instrumented objects): every
+  /// wrapper entered from such code must pass straight through — an
+  /// injection point or production fault firing inside a restore would turn
+  /// the rollback it serves into a RestoreError.
+  int engine_depth = 0;
   /// When set, non-atomic marks carry a one-line graph-diff explanation
   /// (costs one diff per intercepted exception; off by default).
   bool record_diffs = false;
@@ -270,6 +320,35 @@ class Runtime {
   /// Memoized per MethodInfo — wrappers call this on every protected call.
   const snapshot::CheckpointPlan* checkpoint_plan(const MethodInfo& mi);
 
+  // --- recovery policies (DESIGN.md §14) ------------------------------------
+  /// Installs the per-method recovery policy table the masking wrappers
+  /// consult.  Null (the default) means the engine is off: every masked call
+  /// takes the classic rollback-and-rethrow path unchanged.
+  void set_recovery_policies(
+      std::shared_ptr<const recovery::PolicyTable> policies) {
+    policies_ = std::move(policies);
+    policy_memo_.clear();
+  }
+  const std::shared_ptr<const recovery::PolicyTable>& recovery_policies()
+      const {
+    return policies_;
+  }
+  /// The policy for `mi`, or null when no table is installed or the table
+  /// has no entry for the method.  Memoized per MethodInfo — wrappers call
+  /// this on every protected call.
+  const recovery::RecoveryPolicy* recovery_policy(const MethodInfo& mi);
+
+  // --- production-mode fault injection (DESIGN.md §14) ----------------------
+  /// When nonzero, masking wrappers raise an InjectedRuntimeError inside the
+  /// protected region on every fault_period-th wrapped attempt — the live
+  /// fault source the recovery bench drives.  0 (the default) disables the
+  /// injector entirely; campaign semantics are bit-identical.
+  std::uint64_t fault_period = 0;
+  /// Attempts seen by the production-fault injector.  Advances per attempt
+  /// (retries included), so a retried call faces a fresh fault decision.
+  /// Deliberately NOT copied by adopt_config — each runtime counts its own.
+  std::uint64_t fault_counter = 0;
+
   /// Debug completeness validator: when set, every partial checkpoint also
   /// takes a shadow full checkpoint, and a rollback re-checks the restored
   /// receiver against the shadow (stats.validator_divergences counts
@@ -303,6 +382,9 @@ class Runtime {
   std::shared_ptr<const PlanMap> plans_;
   std::unordered_map<const MethodInfo*, const snapshot::CheckpointPlan*>
       plan_memo_;
+  std::shared_ptr<const recovery::PolicyTable> policies_;
+  std::unordered_map<const MethodInfo*, const recovery::RecoveryPolicy*>
+      policy_memo_;
 };
 
 /// RAII: installs a runtime as the calling thread's current one — every

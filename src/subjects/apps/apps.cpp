@@ -12,6 +12,7 @@
 #include "subjects/collections/ll_map.hpp"
 #include "subjects/collections/rb_map.hpp"
 #include "subjects/collections/rb_tree.hpp"
+#include "subjects/net/server.hpp"
 #include "subjects/net/transport.hpp"
 #include "subjects/regexp/regexp.hpp"
 #include "subjects/selfstar/selfstar.hpp"
@@ -503,6 +504,20 @@ void run_net_demo() {
   t.close_all();
 }
 
+void run_server_demo() {
+  subjects::net::Server server;
+  server.provision(3);
+  // Steady-state request traffic; every request echoes through its routed
+  // endpoint and lands in the journal.
+  for (int i = 0; i < 12; ++i)
+    server.handle("req-" + std::to_string(i));
+  try {
+    server.handle("");  // invalid request: real exception path
+  } catch (const subjects::net::NetError&) {
+  }
+  server.handle("final");
+}
+
 // ---- registry -----------------------------------------------------------------
 
 const std::vector<App>& all_apps() {
@@ -542,6 +557,7 @@ const App& app(const std::string& name) {
   static const std::vector<App> hidden = {
       {"lintDemo", "C++", run_lint_demo},
       {"netDemo", "C++", run_net_demo},
+      {"ServerDemo", "C++", run_server_demo},
   };
   for (const App& a : hidden)
     if (a.name == name) return a;

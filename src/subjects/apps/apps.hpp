@@ -55,4 +55,10 @@ void run_lint_demo();
 /// every subject family.
 void run_net_demo();
 
+/// Request-serving loop over Server/Transport — reachable via
+/// app("ServerDemo"); kept out of all_apps() (not a Table 1 subject) but
+/// swept by the CLI gate checks, and the live target bench_recovery drives
+/// under production-mode fault injection (DESIGN.md §14).
+void run_server_demo();
+
 }  // namespace subjects::apps

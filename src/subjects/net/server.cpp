@@ -1,0 +1,31 @@
+#include "subjects/net/server.hpp"
+
+namespace subjects::net {
+
+void Server::provision(int count) {
+  FAT_INVOKE(provision, [&] {
+    for (int i = 0; i < count; ++i)
+      transport_.open("ep" + std::to_string(i));
+  });
+}
+
+std::string Server::route(const std::string& request) const {
+  if (endpoints() == 0) throw NetError("no endpoints provisioned");
+  unsigned sum = 0;
+  for (char c : request) sum += static_cast<unsigned char>(c);
+  return "ep" + std::to_string(sum % static_cast<unsigned>(endpoints()));
+}
+
+std::string Server::handle(const std::string& request) {
+  return FAT_INVOKE(handle, [&] {
+    if (request.empty()) throw NetError("empty request");
+    const std::string endpoint = route(request);
+    journal_.append(request).push_back(';');  // mutate-first: non-atomic
+    transport_.send(endpoint, request);       // fallible transport steps ...
+    std::string reply = transport_.recv(endpoint);
+    ++processed_;  // ... counted only at the end
+    return "ok:" + reply;
+  });
+}
+
+}  // namespace subjects::net

@@ -1,0 +1,69 @@
+// Request-serving loop subject (net family): a Server owns a Transport and
+// handles requests end to end — validate, route, journal, send, receive,
+// count.  handle() journals *before* the fallible transport steps, so an
+// exception mid-request strands a journal entry without its processed
+// count: classically failure non-atomic, and the live target the recovery
+// policy engine's bench (bench/bench_recovery.cpp) drives under
+// production-mode fault injection.  invariants_hold() is the uninstrumented
+// zero-corruption validator that bench and tests check after every storm.
+#pragma once
+
+#include <string>
+
+#include "fatomic/reflect/reflect.hpp"
+#include "fatomic/weave/macros.hpp"
+#include "subjects/net/transport.hpp"
+
+namespace subjects::net {
+
+class Server {
+ public:
+  Server() { FAT_CTOR_ENTRY(); }
+
+  int processed() const { return processed_; }
+  int endpoints() const { return transport_.endpoints(); }
+  const std::string& journal() const { return journal_; }
+
+  /// Opens `count` endpoints ("ep0".."epN-1"); throws NetError on a
+  /// duplicate (partial progress: already-opened endpoints stay open).
+  void provision(int count);
+
+  /// Serves one request: validate, route to an endpoint, journal the
+  /// request, ship it through the transport and echo the reply back.
+  /// Throws NetError on an empty request or a transport failure.
+  std::string handle(const std::string& request);
+
+  /// Uninstrumented state validator: every journaled request was fully
+  /// processed, every sent message was drained, nothing is in flight.
+  /// False means a failed request left partial state behind — exactly what
+  /// rollback-based recovery must prevent.
+  bool invariants_hold() const {
+    int entries = 0;
+    for (char c : journal_)
+      if (c == ';') ++entries;
+    return entries == processed_ && transport_.sent() == processed_ &&
+           transport_.total_pending() == 0;
+  }
+
+ private:
+  /// Uninstrumented pure routing helper: deterministic endpoint choice.
+  std::string route(const std::string& request) const;
+
+  FAT_REFLECT_FRIEND(Server);
+  FAT_CTOR_INFO(subjects::net::Server);
+  FAT_METHOD_INFO(subjects::net::Server, provision,
+                  FAT_THROWS(subjects::net::NetError));
+  FAT_METHOD_INFO(subjects::net::Server, handle,
+                  FAT_THROWS(subjects::net::NetError));
+
+  Transport transport_;
+  std::string journal_;
+  int processed_ = 0;
+};
+
+}  // namespace subjects::net
+
+FAT_REFLECT(subjects::net::Server,
+            FAT_FIELD(subjects::net::Server, transport_),
+            FAT_FIELD(subjects::net::Server, journal_),
+            FAT_FIELD(subjects::net::Server, processed_));

@@ -57,6 +57,12 @@ class Transport {
 
   int endpoints() const { return static_cast<int>(channels_.size()); }
   int sent() const { return sent_; }
+  /// Undelivered messages across every channel (validator helper).
+  int total_pending() const {
+    int n = 0;
+    for (const auto& [name, ch] : channels_) n += ch->pending();
+    return n;
+  }
 
   /// Registers an endpoint; throws NetError when it already exists.
   void open(const std::string& endpoint);

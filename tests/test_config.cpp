@@ -1,6 +1,7 @@
-// fatomic::Config — the unified builder must reproduce the legacy knob
-// structs exactly, and the deprecated adapters must keep compiling (they
-// survive one release as migration shims).
+// fatomic::Config — the unified builder must reproduce the internal knob
+// structs (CampaignSettings / VerifySettings) exactly.  The deprecated
+// detect::Options and mask::MaskOptions adapters completed their one-release
+// migration cycle and are gone (DESIGN.md migration table).
 #include "fatomic/config.hpp"
 
 #include <gtest/gtest.h>
@@ -112,30 +113,24 @@ TEST_F(ConfigTest, ConfigMaskVerificationMatchesLegacyPath) {
             report::campaign_json(via_legacy.campaign));
 }
 
-// The deprecated adapters must stay source- and behaviour-compatible for one
-// release; this is the only translation unit that intentionally uses them.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(ConfigTest, RecoveryBuilderAccumulatesPolicies) {
+  namespace recovery = fatomic::recovery;
+  fatomic::Config cfg;
+  recovery::RecoveryPolicy retry;
+  retry.action = recovery::Action::Retry;
+  retry.retry_budget = 3;
+  cfg.recovery_policy("A::f", retry)
+      .recovery_policy("A::g", recovery::RecoveryPolicy{});
+  ASSERT_NE(cfg.recovery(), nullptr);
+  EXPECT_EQ(cfg.recovery()->size(), 2u);
+  const recovery::RecoveryPolicy* found = cfg.recovery()->find("A::f");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->action, recovery::Action::Retry);
+  EXPECT_EQ(found->retry_budget, 3u);
+  EXPECT_EQ(cfg.campaign_settings().recovery_policies, cfg.recovery());
 
-TEST_F(ConfigTest, DeprecatedOptionsAdapterStillWorks) {
-  detect::Options opts;
-  opts.jobs = 2;
-  detect::Campaign via_adapter =
-      detect::Experiment(synthetic::workload, opts).run();
-  detect::Campaign via_config =
-      detect::Experiment(synthetic::workload, fatomic::Config().jobs(2)).run();
-  EXPECT_EQ(report::campaign_json(via_adapter),
-            report::campaign_json(via_config));
+  // Replacing the whole table drops the builder's accumulation.
+  auto table = std::make_shared<recovery::PolicyTable>();
+  cfg.recovery(table);
+  EXPECT_EQ(cfg.recovery(), table);
 }
-
-TEST_F(ConfigTest, DeprecatedMaskOptionsAdapterStillWorks) {
-  auto cls = detect::classify(detect::Experiment(synthetic::workload).run());
-  auto wrap = fatomic::mask::wrap_pure(cls);
-  fatomic::mask::MaskOptions opts;
-  opts.jobs = 2;
-  const auto verified =
-      fatomic::mask::verify_masked_full(synthetic::workload, wrap, {}, opts);
-  EXPECT_TRUE(verified.classification.nonatomic_names().empty());
-}
-
-#pragma GCC diagnostic pop

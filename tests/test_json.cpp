@@ -107,9 +107,10 @@ TEST_F(JsonTest, CampaignJsonIsWellFormed) {
 
 TEST_F(JsonTest, CampaignJsonCountsMatch) {
   std::string json = report::campaign_json(campaign());
-  const std::string runs_tag =
-      "{\"runs\":" + std::to_string(campaign().runs.size());
-  EXPECT_EQ(json.rfind(runs_tag, 0), 0u) << "must start with the run count";
+  const std::string runs_tag = "{\"schema_version\":2,\"runs\":" +
+                               std::to_string(campaign().runs.size());
+  EXPECT_EQ(json.rfind(runs_tag, 0), 0u)
+      << "must lead with the schema version and run count";
   std::size_t detail_objects = 0;
   for (std::size_t pos = json.find("\"point\":"); pos != std::string::npos;
        pos = json.find("\"point\":", pos + 1))

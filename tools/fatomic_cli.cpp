@@ -18,6 +18,7 @@
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -27,6 +28,7 @@
 #include "subjects/apps/apps.hpp"
 
 namespace detect = fatomic::detect;
+namespace recovery = fatomic::recovery;
 namespace report = fatomic::report;
 namespace snapshot = fatomic::snapshot;
 namespace trace = fatomic::trace;
@@ -60,6 +62,10 @@ struct Args {
   bool validate_checkpoints = false;
   snapshot::BackendKind backend = snapshot::default_backend();
   bool provenance = false;
+  std::string policy_file;
+  std::string derive_policies_out;
+  /// Parsed --policy-file table (loaded once in main, after parse()).
+  std::shared_ptr<const fatomic::recovery::PolicyTable> policies;
   std::string trace_out;
   bool trace_summary = false;
   bool metrics = false;
@@ -146,6 +152,20 @@ int usage(int code) {
       "  --no-wrap M            exclude method M from masking (repeatable;\n"
       "                         unknown names are warned about)\n"
       "\n"
+      "recovery (evidence-driven policy engine, DESIGN.md 14):\n"
+      "  --policy-file FILE     install a per-method RecoveryPolicy table\n"
+      "                         (JSON) for masked execution: with\n"
+      "                         --mask-verify, listed methods recover by\n"
+      "                         their policy (retry/degrade/early_return/\n"
+      "                         rethrow_as) instead of the fixed\n"
+      "                         rollback-and-rethrow; parse errors report\n"
+      "                         file, line and column\n"
+      "  --derive-policies FILE derive a policy table from the static\n"
+      "                         report (with --app: weighted by that\n"
+      "                         campaign's per-exception-type histograms)\n"
+      "                         and write it to FILE with per-method\n"
+      "                         evidence on stdout\n"
+      "\n"
       "report (exporters):\n"
       "  --details              per-method classification table\n"
       "  --json                 classification + campaign as JSON\n"
@@ -169,7 +189,16 @@ int usage(int code) {
       "                         campaign output, symbolized stacks in\n"
       "                         --trace-out events; with --cross-check:\n"
       "                         verify classifications are bit-identical\n"
-      "                         with and without capture\n";
+      "                         with and without capture\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success: campaigns ran, every requested gate passed\n"
+      "  1  usage or runtime error: bad flags, unknown app, unreadable or\n"
+      "     malformed --policy-file, I/O failure\n"
+      "  2  divergence or gate failure: --cross-check, --graph-check,\n"
+      "     --alias-check, --precision-floor, remaining non-atomic methods\n"
+      "     under --mask-verify, checkpoint-validator divergence\n"
+      "  3  lint findings: --lint found undeclared exception types\n";
   return code;
 }
 
@@ -245,6 +274,14 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.language = v;
+    } else if (a == "--policy-file") {
+      const char* v = value();
+      if (!v) return false;
+      args.policy_file = v;
+    } else if (a == "--derive-policies") {
+      const char* v = value();
+      if (!v) return false;
+      args.derive_policies_out = v;
     } else if (a == "--trace-out") {
       const char* v = value();
       if (!v) return false;
@@ -291,6 +328,7 @@ fatomic::Config make_config(const Args& args,
       .checkpoint_backend(args.backend)
       .validate_checkpoints(args.validate_checkpoints);
   if (prune != nullptr) cfg.prune_atomic(*prune);
+  if (args.policies) cfg.recovery(args.policies);
   for (const auto& m : args.exception_free) cfg.exception_free(m);
   for (const auto& m : args.no_wrap) cfg.no_wrap(m);
   return cfg;
@@ -519,7 +557,8 @@ int run_one(const Args& args) {
   const bool need_static = args.analyze || args.prune_static ||
                            args.cross_check || args.write_sets ||
                            args.mask_partial || args.lint ||
-                           args.graph_check || args.alias_check;
+                           args.graph_check || args.alias_check ||
+                           !args.derive_policies_out.empty();
   fatomic::analyze::StaticReport sreport;
   if (need_static) sreport = fatomic::analyze::analyze_sources(subject_root());
 
@@ -591,6 +630,20 @@ int run_one(const Args& args) {
   }
   emit_trace_outputs(args, result);
   if (args.provenance) print_provenance(result);
+  if (!args.derive_policies_out.empty()) {
+    // Evidence-weighted derivation: the campaign just run supplies the
+    // per-exception-type histograms (DESIGN.md 14).
+    const auto derived =
+        recovery::derive_policy_table(sreport, &result.campaign);
+    const std::string path = out_path(args, args.derive_policies_out);
+    if (write_file(path, recovery::policy_table_json(*derived.table)))
+      std::cout << "wrote " << path << " (" << derived.table->size()
+                << " policies)\n";
+    for (const auto& [method, why] : derived.evidence)
+      std::cout << "  " << method << ": "
+                << recovery::to_string(derived.table->find(method)->action)
+                << " [" << why << "]\n";
+  }
   if (args.suggest) {
     std::cout << "\nexception-free candidates (each fully explains the "
                  "non-atomicity of at least one method):\n";
@@ -652,6 +705,7 @@ int run_all(const Args& args) {
     std::vector<subjects::apps::App> gate = subjects::apps::all_apps();
     gate.push_back(subjects::apps::app("lintDemo"));
     gate.push_back(subjects::apps::app("netDemo"));
+    gate.push_back(subjects::apps::app("ServerDemo"));
     int status = 0;
     for (const auto& app : gate) {
       if (!args.language.empty() && app.language != args.language) continue;
@@ -688,6 +742,7 @@ int run_all(const Args& args) {
   if (args.graph_check || args.alias_check) {
     apps.push_back(subjects::apps::app("lintDemo"));
     apps.push_back(subjects::apps::app("netDemo"));
+    apps.push_back(subjects::apps::app("ServerDemo"));
   }
   std::vector<report::AppResult> results;
   std::vector<std::pair<std::string, trace::Trace>> traces;
@@ -761,8 +816,27 @@ int main(int argc, char** argv) {
   try {
     if (!args.out_dir.empty())
       std::filesystem::create_directories(args.out_dir);
+    if (!args.policy_file.empty())
+      args.policies = std::make_shared<const fatomic::recovery::PolicyTable>(
+          recovery::load_policy_file(args.policy_file));
     if (args.all) return run_all(args);
     if (!args.app.empty()) return run_one(args);
+    if (!args.derive_policies_out.empty()) {
+      // Static-only derivation: base actions from the Pass 1-5 evidence,
+      // no campaign histograms to weight overrides.
+      const auto sreport = fatomic::analyze::analyze_sources(subject_root());
+      const auto derived = recovery::derive_policy_table(sreport, nullptr);
+      if (!write_file(args.derive_policies_out,
+                      recovery::policy_table_json(*derived.table)))
+        return 1;
+      std::cout << "wrote " << args.derive_policies_out << " ("
+                << derived.table->size() << " policies)\n";
+      for (const auto& [method, why] : derived.evidence)
+        std::cout << "  " << method << ": "
+                  << recovery::to_string(derived.table->find(method)->action)
+                  << " [" << why << "]\n";
+      return 0;
+    }
     if (!args.precision_floor.empty()) {
       // Static-only regression gate: proven-atomic and partial-plan counts
       // must not fall below the asserted lower bounds.
